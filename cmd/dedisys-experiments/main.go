@@ -1,0 +1,108 @@
+// Command dedisys-experiments regenerates the dissertation's evaluation
+// tables and figures (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	dedisys-experiments [-quick] [-ops N] [-runs N] [-netcost D] [-storecost D] [id ...]
+//
+// Without arguments all experiments run at the calibrated default scale; one
+// or more experiment IDs (e.g. fig5.2 exp-psc) restrict the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dedisys/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dedisys-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dedisys-experiments", flag.ContinueOnError)
+	var (
+		quick     = fs.Bool("quick", false, "small scale, zero simulated hardware costs")
+		list      = fs.Bool("list", false, "list experiment IDs and exit")
+		ops       = fs.Int("ops", 0, "operations per measured case (default 1000)")
+		runs      = fs.Int("runs", 0, "scenario repetitions for the chapter-2 study (default 20)")
+		netCost   = fs.Duration("netcost", -1, "simulated per-message network cost (default 120µs)")
+		storeCost = fs.Duration("storecost", -1, "simulated per-write database cost (default 80µs)")
+		csvDir    = fs.String("csv", "", "also write each result as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Registry() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *ops > 0 {
+		cfg.Ops = *ops
+		cfg.Entities = *ops
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *netCost >= 0 {
+		cfg.NetCost = *netCost
+	}
+	if *storeCost >= 0 {
+		cfg.StoreCost = *storeCost
+	}
+
+	selected := bench.Registry()
+	if ids := fs.Args(); len(ids) > 0 {
+		selected = selected[:0]
+		for _, id := range ids {
+			e, err := bench.ByID(id)
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	start := time.Now()
+	for _, e := range selected {
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		res.Print(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("%d experiment(s) completed in %s\n", len(selected), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeCSV stores one result as <dir>/<id>.csv.
+func writeCSV(dir string, res *bench.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, res.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	res.WriteCSV(f)
+	return f.Close()
+}

@@ -1,0 +1,76 @@
+// Command dedisys-script runs DedisysTest-style scenario scripts (§5.1)
+// against an in-process DeDiSys cluster: build nodes, deploy declarative
+// constraints, run business operations, inject partitions and crashes,
+// reconcile, and assert on the outcome.
+//
+// Usage:
+//
+//	dedisys-script scenario.dsc        # run a script file
+//	dedisys-script -                   # read the script from stdin
+//	dedisys-script -demo               # run the built-in §1.3 demo scenario
+//
+// See internal/script for the command reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dedisys/internal/script"
+)
+
+// demoScenario is the §1.3 flight booking story.
+const demoScenario = `
+echo == flight booking scenario (dissertation section 1.3) ==
+constraint Ticket HARD RELAXABLE UNCHECKABLE sold <= seats
+cluster 2
+create n1 f1 seats=80 sold=70
+echo healthy: selling within capacity works, overbooking is rejected
+set n1 f1 sold 75
+fail set n1 f1 sold 81
+echo injecting a network partition; both sides keep selling under threats
+partition n1 | n2
+set n1 f1 sold 77
+set n2 f1 sold 78
+threats n1 1
+echo healing and reconciling
+heal
+reconcile n1
+threats n1 0
+echo done: replicas converged, threats resolved
+`
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dedisys-script:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dedisys-script", flag.ContinueOnError)
+	demo := fs.Bool("demo", false, "run the built-in flight booking scenario")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var src io.Reader
+	switch {
+	case *demo:
+		src = strings.NewReader(demoScenario)
+	case fs.NArg() == 1 && fs.Arg(0) == "-":
+		src = stdin
+	case fs.NArg() == 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		src = f
+	default:
+		return fmt.Errorf("usage: dedisys-script [-demo] <scenario-file|->")
+	}
+	return script.New(stdout).Run(src)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-demo"}, nil, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replicas converged") {
+		t.Fatalf("output = %s", out.String())
+	}
+}
+
+func TestRunStdin(t *testing.T) {
+	var out bytes.Buffer
+	src := strings.NewReader("cluster 1\ncreate n1 b1 v=1\nexpect n1 b1 v 1\n")
+	if err := run([]string{"-"}, src, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.dsc")
+	if err := os.WriteFile(path, []byte("cluster 1\necho hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hello") {
+		t.Fatalf("output = %s", out.String())
+	}
+}
+
+func TestRunUsageAndMissingFile(t *testing.T) {
+	if err := run(nil, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("no-args accepted")
+	}
+	if err := run([]string{"/no/such/file.dsc"}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestExampleScenarios(t *testing.T) {
+	matches, err := filepath.Glob("../../examples/scenarios/*.dsc")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no scenario files found: %v", err)
+	}
+	for _, path := range matches {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{path}, nil, &out); err != nil {
+				t.Fatalf("%v\n%s", err, out.String())
+			}
+			if !strings.Contains(out.String(), "complete") {
+				t.Fatalf("output = %s", out.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,13 @@
+// Package dedisys is a Go reproduction of "Middleware Support for Adaptive
+// Dependability through Explicit Runtime Integrity Constraints" (Lorenz
+// Froihofer, TU Wien, 2007): middleware that balances integrity and
+// availability in data-centric distributed object systems by managing
+// integrity constraints — and the consistency threats that arise when they
+// cannot be validated reliably during network partitions — as first-class
+// runtime citizens.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), runnable examples under examples/, and the evaluation harness
+// regenerating every table and figure of the dissertation is exposed through
+// cmd/dedisys-experiments and the benchmarks in bench_test.go.
+package dedisys

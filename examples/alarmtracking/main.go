@@ -1,0 +1,108 @@
+// Alarmtracking demonstrates the distributed alarm tracking system of §1.4:
+// administrative and technical operators work at different sites whose
+// objects are bound by the inter-object ComponentKindReferenceConsistency
+// constraint, deployed from the XML configuration file of Listing 4.1. A
+// partition between the sites lets both operators make progress; a dynamic
+// negotiation handler accepts the possibly violated constraint because the
+// technician knows the repaired component, and reconciliation detects and
+// repairs the actual inconsistency afterwards.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dedisys/internal/apps/ats"
+	"dedisys/internal/constraint"
+	"dedisys/internal/node"
+	"dedisys/internal/reconcile"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alarmtracking:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := node.NewCluster(2, nil, func(o *node.Options) { o.RepoCache = true })
+	if err != nil {
+		return err
+	}
+	// Deployment reads the constraint configuration file (Listing 4.1).
+	constraints, err := ats.Constraints()
+	if err != nil {
+		return err
+	}
+	for _, n := range cluster.Nodes {
+		n.RegisterSchema(ats.AlarmSchema())
+		n.RegisterSchema(ats.ReportSchema())
+		if err := n.DeployConstraints(constraints); err != nil {
+			return err
+		}
+	}
+	admin, tech := cluster.Node(0), cluster.Node(1)
+
+	if err := admin.Create(ats.ReportClass, "report-7", ats.NewReport("", "alarm-7"), cluster.AllReplicas(tech.ID)); err != nil {
+		return err
+	}
+	if err := admin.Create(ats.AlarmClass, "alarm-7", ats.NewAlarm("Signal", "report-7"), cluster.AllReplicas(admin.ID)); err != nil {
+		return err
+	}
+	fmt.Println("healthy: Signal alarm-7 and its repair report replicated on both sites")
+
+	// The sites lose their link.
+	cluster.Partition([]transport.NodeID{admin.ID}, []transport.NodeID{tech.ID})
+	fmt.Println("link failure between the administrative and technical sites")
+
+	// The administrative operator reclassifies the alarm in partition A.
+	if _, err := admin.Invoke("alarm-7", "SetAlarmKind", "Power"); err != nil {
+		return fmt.Errorf("admin update: %w", err)
+	}
+	fmt.Println("partition A: admin reclassified alarm-7 to kind=Power (threat accepted)")
+
+	// The technical operator files the repair in partition B. Their view of
+	// the alarm is stale; a dynamic negotiation handler inspects the threat
+	// and accepts it — the technician knows the repaired component (§3.1).
+	txn := tech.Begin()
+	tech.CCM.RegisterNegotiationHandler(txn, func(nc *threat.NegotiationContext) threat.Decision {
+		fmt.Printf("partition B: negotiation callback — %s is %s; technician accepts\n",
+			nc.Constraint.Name, nc.Degree)
+		return threat.Accept
+	})
+	if _, err := tech.InvokeTx(txn, "report-7", "SetAffectedComponent", "Signal Cable"); err != nil {
+		return fmt.Errorf("tech update: %w", err)
+	}
+	if err := txn.Commit(); err != nil {
+		return err
+	}
+	fmt.Println("partition B: repair report filed for a Signal Cable")
+
+	// The link recovers; reconciliation re-evaluates the threat.
+	cluster.Heal()
+	report, err := reconcile.Run(tech, []transport.NodeID{admin.ID}, reconcile.Handlers{
+		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
+			fmt.Printf("reconciliation: %s violated — technician re-files for a Power Supply\n", th.Constraint)
+			if _, err := tech.Invoke("report-7", "SetAffectedComponent", "Power Supply"); err != nil {
+				return false
+			}
+			return true
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconciliation report: %d violation(s), %d resolved, %d threat(s) left\n",
+		report.Constraint.Violations, report.Constraint.Resolved, tech.Threats.Len())
+
+	e, err := tech.Registry.Get("report-7")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final state: alarm kind=Power, repaired component=%q — consistent again\n",
+		e.GetString(ats.AttrAffectedComponent))
+	return nil
+}

@@ -1,0 +1,112 @@
+// Flightbooking replays the dissertation's running example (§1.3) end to
+// end: a replicated flight booking system suffers a network partition, both
+// partitions keep selling under accepted consistency threats, and after the
+// link is repaired the reconciliation phase merges the replicas, detects the
+// overbooking, and compensates by rebooking the excess passengers.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dedisys/internal/apps/flight"
+	"dedisys/internal/constraint"
+	"dedisys/internal/node"
+	"dedisys/internal/object"
+	"dedisys/internal/reconcile"
+	"dedisys/internal/replication"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flightbooking:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := node.NewCluster(2, nil, func(o *node.Options) {
+		o.RepoCache = true
+		o.ThreatPolicy = threat.IdenticalOnce
+	})
+	if err != nil {
+		return err
+	}
+	ticket := flight.TicketConstraint(constraint.HardInvariant, constraint.Tradeable, constraint.Uncheckable)
+	for _, n := range cluster.Nodes {
+		n.RegisterSchema(flight.Schema())
+		if err := n.DeployConstraints([]constraint.Configured{ticket}); err != nil {
+			return err
+		}
+	}
+	nA, nB := cluster.Node(0), cluster.Node(1)
+
+	if err := nA.Create(flight.Class, "LH1234", flight.New(80, 70), cluster.AllReplicas(nA.ID)); err != nil {
+		return err
+	}
+	fmt.Println("healthy: flight LH1234 replicated on both nodes (80 seats, 70 sold)")
+
+	// The link between the sites fails: two partitions, both writable
+	// under the primary-per-partition protocol.
+	cluster.Partition([]transport.NodeID{nA.ID}, []transport.NodeID{nB.ID})
+	fmt.Printf("link failure: node A mode=%s, node B mode=%s\n", nA.Mode(), nB.Mode())
+
+	// Customers buy 7 tickets in partition A and 8 in partition B. Each
+	// validation runs on possibly stale replicas: a consistency threat that
+	// the configuration accepts (min satisfaction degree UNCHECKABLE).
+	if _, err := nA.Invoke("LH1234", "SellTickets", int64(7)); err != nil {
+		return fmt.Errorf("partition A sale: %w", err)
+	}
+	if _, err := nB.Invoke("LH1234", "SellTickets", int64(8)); err != nil {
+		return fmt.Errorf("partition B sale: %w", err)
+	}
+	soldA, _ := nA.Invoke("LH1234", "Sold")
+	soldB, _ := nB.Invoke("LH1234", "Sold")
+	fmt.Printf("degraded: partition A sees %d sold, partition B sees %d sold\n", soldA, soldB)
+	fmt.Printf("degraded: node A stored %d consistency threat(s)\n", nA.Threats.Len())
+
+	// The link is repaired; reconciliation runs in two phases.
+	cluster.Heal()
+	report, err := reconcile.Run(nA, []transport.NodeID{nB.ID}, reconcile.Handlers{
+		// Phase 1 callback: the replica consistency handler merges the
+		// divergent sales figures (70 + 7 + 8 = 85).
+		ReplicaResolver: func(c replication.Conflict) (object.State, error) {
+			merged := c.Local.Clone()
+			local := c.Local[flight.AttrSold].(int64)
+			remote := c.Remote[flight.AttrSold].(int64)
+			merged[flight.AttrSold] = 70 + (local - 70) + (remote - 70)
+			fmt.Printf("reconciliation: replica conflict on %s merged to %d sold\n", c.ID, merged[flight.AttrSold])
+			return merged, nil
+		},
+		// Phase 2 callback: the constraint reconciliation handler rebooks
+		// the excess passengers (roll-forward compensation).
+		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
+			e, err := nA.Registry.Get(th.ContextID)
+			if err != nil {
+				return false
+			}
+			excess := e.GetInt(flight.AttrSold) - e.GetInt(flight.AttrSeats)
+			if excess <= 0 {
+				return true
+			}
+			fmt.Printf("reconciliation: %s violated — rebooking %d passengers to another flight\n", th.Constraint, excess)
+			if _, err := nA.Invoke(th.ContextID, "Rebook", excess); err != nil {
+				return false
+			}
+			return true
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconciliation report: %d replica conflict(s), %d violation(s), %d resolved\n",
+		report.Replica.Conflicts, report.Constraint.Violations, report.Constraint.Resolved)
+
+	finalA, _ := nA.Invoke("LH1234", "Sold")
+	finalB, _ := nB.Invoke("LH1234", "Sold")
+	fmt.Printf("healthy again: both replicas agree on %d/%d sold, %d threat(s) left\n",
+		finalA, finalB, nA.Threats.Len())
+	return nil
+}

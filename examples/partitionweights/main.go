@@ -1,0 +1,84 @@
+// Partitionweights demonstrates the partition-sensitive integrity
+// constraints of §5.5.2: the middleware exposes the weighted partition
+// fraction to constraint validation, and the ticket constraint partitions
+// the remaining tickets across the network partitions so that degraded-mode
+// sales cannot overbook — at the price of each partition being limited to
+// its share.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dedisys/internal/apps/flight"
+	"dedisys/internal/constraint"
+	"dedisys/internal/node"
+	"dedisys/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "partitionweights:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := node.NewCluster(2, nil, func(o *node.Options) { o.RepoCache = true })
+	if err != nil {
+		return err
+	}
+	// Weighted membership (Gifford-style): node A carries 3 of 5 weight
+	// units, node B the remaining 2.
+	cluster.GMS.SetWeight("n1", 3)
+	cluster.GMS.SetWeight("n2", 2)
+
+	psc := flight.NewPartitionSensitive().Configured()
+	for _, n := range cluster.Nodes {
+		n.RegisterSchema(flight.Schema())
+		if err := n.DeployConstraints([]constraint.Configured{psc}); err != nil {
+			return err
+		}
+	}
+	nA, nB := cluster.Node(0), cluster.Node(1)
+	if err := nA.Create(flight.Class, "LH1234", flight.New(80, 70), cluster.AllReplicas(nA.ID)); err != nil {
+		return err
+	}
+	fmt.Println("healthy: 80 seats, 70 sold -> 10 tickets remain; weights n1=3, n2=2")
+
+	cluster.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+	fmt.Printf("partition: n1 holds weight %.0f%%, n2 holds %.0f%%\n",
+		100*cluster.GMS.PartitionWeight("n1"), 100*cluster.GMS.PartitionWeight("n2"))
+
+	sell := func(n *node.Node, label string) int {
+		sold := 0
+		for i := 0; i < 20; i++ {
+			if _, err := n.Invoke("LH1234", "SellTickets", int64(1)); err != nil {
+				fmt.Printf("%s: sale %d rejected (%v)\n", label, sold+1, shorten(err))
+				break
+			}
+			sold++
+		}
+		fmt.Printf("%s sold %d tickets (its weighted share of the 10 remaining)\n", label, sold)
+		return sold
+	}
+	soldA := sell(nA, "partition A")
+	soldB := sell(nB, "partition B")
+
+	total := 70 + soldA + soldB
+	fmt.Printf("after reunification the system holds %d sold for 80 seats — ", total)
+	if total <= 80 {
+		fmt.Println("no overbooking, no reconciliation effort")
+	} else {
+		fmt.Println("overbooked!")
+	}
+	return nil
+}
+
+func shorten(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+// Quickstart: a single DeDiSys node enforcing one explicit runtime
+// constraint. It shows the minimal deployment steps — schema, constraint,
+// entity — and how a violating business operation is aborted by the
+// constraint consistency manager.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dedisys/internal/apps/flight"
+	"dedisys/internal/constraint"
+	"dedisys/internal/core"
+	"dedisys/internal/node"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// One node, no replication: the pure constraint-management middleware.
+	cluster, err := node.NewCluster(1, nil, func(o *node.Options) {
+		o.RepoCache = true
+	})
+	if err != nil {
+		return err
+	}
+	n := cluster.Node(0)
+
+	// Deployment: register the class schema and the ticket constraint
+	// (Figure 1.6: sold tickets must not exceed seats).
+	n.RegisterSchema(flight.Schema())
+	ticket := flight.TicketConstraint(constraint.HardInvariant, constraint.Tradeable, constraint.Uncheckable)
+	if err := n.DeployConstraints([]constraint.Configured{ticket}); err != nil {
+		return err
+	}
+
+	// Create a flight with 80 seats, 70 already sold.
+	if err := n.Create(flight.Class, "LH1234", flight.New(80, 70), cluster.AllReplicas(n.ID)); err != nil {
+		return err
+	}
+	fmt.Println("created flight LH1234: 80 seats, 70 sold")
+
+	// Selling 10 tickets keeps the constraint satisfied.
+	sold, err := n.Invoke("LH1234", "SellTickets", int64(10))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sold 10 tickets -> %d sold in total\n", sold)
+
+	// The 81st ticket violates the constraint: the middleware validates
+	// after the affected method and rolls the transaction back.
+	_, err = n.Invoke("LH1234", "SellTickets", int64(1))
+	if core.IsViolation(err) {
+		fmt.Printf("overbooking attempt rejected by the middleware: %v\n", err)
+	} else if err != nil {
+		return err
+	}
+
+	cur, err := n.Invoke("LH1234", "Sold")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final state: %d sold — integrity preserved\n", cur)
+	return nil
+}

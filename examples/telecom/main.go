@@ -1,0 +1,112 @@
+// Telecom demonstrates the distributed telecommunication management system
+// of §1.4 — the dissertation's primary motivating application. Two DTMS
+// sites each manage their own voice communication system; the endpoints of
+// a cross-site voice channel are bound to their sites, yet an integrity
+// constraint spans both: their configuration must match for the channel to
+// work. A link failure between the sites must not stop either site from
+// managing its own hardware; the inconsistent channel configuration is
+// repaired during reconciliation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dedisys/internal/apps/dtms"
+	"dedisys/internal/constraint"
+	"dedisys/internal/core"
+	"dedisys/internal/node"
+	"dedisys/internal/reconcile"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "telecom:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := node.NewCluster(2, nil, func(o *node.Options) { o.RepoCache = true })
+	if err != nil {
+		return err
+	}
+	for _, n := range cluster.Nodes {
+		n.RegisterSchema(dtms.EndpointSchema())
+		if err := n.DeployConstraints(dtms.Constraints()); err != nil {
+			return err
+		}
+	}
+	siteA, siteB := cluster.Node(0), cluster.Node(1)
+
+	// Site-bound objects: each endpoint lives only at its site (§1.4 —
+	// "a failure of a DTMS site should not have effects beyond the site").
+	if err := siteA.Create(dtms.EndpointClass, "tower/A",
+		dtms.NewEndpoint("A", "tower", "tower/B", 118000, "G.711"), dtms.SiteBound(siteA.ID)); err != nil {
+		return err
+	}
+	if err := siteB.Create(dtms.EndpointClass, "tower/B",
+		dtms.NewEndpoint("B", "tower", "tower/A", 118000, "G.711"), dtms.SiteBound(siteB.ID)); err != nil {
+		return err
+	}
+	// The naming service publishes the channel endpoints.
+	if err := siteA.Naming.Bind("channels/tower/A", "tower/A"); err != nil {
+		return err
+	}
+	if err := siteB.Naming.Bind("channels/tower/B", "tower/B"); err != nil {
+		return err
+	}
+	// Exchange placement metadata so cross-site validation can reach the
+	// peer endpoint.
+	if _, err := siteA.Repl.ReconcileWith([]transport.NodeID{siteB.ID}, nil); err != nil {
+		return err
+	}
+	if _, err := siteB.Repl.ReconcileWith([]transport.NodeID{siteA.ID}, nil); err != nil {
+		return err
+	}
+	fmt.Println("healthy: channel 'tower' configured 118.000 MHz / G.711 on both sites")
+
+	// Healthy mode: a one-sided retune is rejected — the constraint checks
+	// the remote endpoint.
+	if _, err := siteA.Invoke("tower/A", "SetFrequency", int64(121500)); core.IsViolation(err) {
+		fmt.Println("healthy: one-sided retune rejected (channel endpoints must match)")
+	} else if err != nil {
+		return err
+	}
+
+	// The inter-site link fails. Site A retunes anyway: the peer endpoint
+	// is unreachable, the validation is UNCHECKABLE, and the configured
+	// tolerance accepts the threat — the site stays manageable.
+	cluster.Partition([]transport.NodeID{siteA.ID}, []transport.NodeID{siteB.ID})
+	if _, err := siteA.Invoke("tower/A", "SetFrequency", int64(121500)); err != nil {
+		return err
+	}
+	fmt.Printf("degraded: site A retuned to 121.500 MHz under an accepted %s threat\n",
+		siteA.Threats.All()[0].Degree)
+
+	// Link repaired: reconciliation re-validates and the handler pushes
+	// site A's configuration to the peer (roll-forward repair).
+	cluster.Heal()
+	report, err := reconcile.Run(siteA, []transport.NodeID{siteB.ID}, reconcile.Handlers{
+		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
+			ep, err := siteA.Registry.Get(th.ContextID)
+			if err != nil {
+				return false
+			}
+			fmt.Printf("reconciliation: %s violated — synchronising peer endpoint\n", th.Constraint)
+			return dtms.SyncPeer(siteA, ep, ep.GetRef(dtms.AttrPeer)) == nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconciliation: %d violation(s), %d resolved\n",
+		report.Constraint.Violations, report.Constraint.Resolved)
+
+	fa, _ := siteA.Invoke("tower/A", "Frequency")
+	fb, _ := siteB.Invoke("tower/B", "Frequency")
+	fmt.Printf("healthy again: endpoints at %d / %d Hz — channel operational\n", fa, fb)
+	return nil
+}

@@ -1,0 +1,108 @@
+// Webnegotiation demonstrates the §4.5 callback bridge: the middleware's
+// blocking negotiation callback is transported to a "browser" over paired
+// HTTP exchanges. A real net/http server hosts a degraded-mode flight sale;
+// the negotiation question travels back as the response to the business
+// request, and the user's decision arrives as a new HTTP request that is
+// then held until the business result is ready (Figure 4.8).
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"dedisys/internal/apps/flight"
+	"dedisys/internal/constraint"
+	"dedisys/internal/node"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+	"dedisys/internal/webcb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "webnegotiation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A two-node cluster in degraded mode so that sales raise threats.
+	cluster, err := node.NewCluster(2, nil, func(o *node.Options) { o.RepoCache = true })
+	if err != nil {
+		return err
+	}
+	// Static negotiation would reject (min degree SATISFIED): only the
+	// dynamic handler — the browser user — can accept the threat.
+	ticket := flight.TicketConstraint(constraint.HardInvariant, constraint.Tradeable, constraint.Satisfied)
+	for _, n := range cluster.Nodes {
+		n.RegisterSchema(flight.Schema())
+		if err := n.DeployConstraints([]constraint.Configured{ticket}); err != nil {
+			return err
+		}
+	}
+	n := cluster.Node(0)
+	if err := n.Create(flight.Class, "LH1234", flight.New(80, 70), cluster.AllReplicas(n.ID)); err != nil {
+		return err
+	}
+	cluster.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+	fmt.Println("server: flight LH1234 (80 seats, 70 sold); system degraded")
+
+	// The Web tier: the business operation registers the bridge-provided
+	// negotiation handler with its transaction.
+	bridge := webcb.NewBridge()
+	bridge.RegisterOperation("sell", func(negotiate threat.Handler) (any, error) {
+		txn := n.Begin()
+		n.CCM.RegisterNegotiationHandler(txn, negotiate)
+		sold, err := n.InvokeTx(txn, "LH1234", "SellTickets", int64(2))
+		if err != nil {
+			_ = txn.Rollback()
+			return nil, err
+		}
+		if err := txn.Commit(); err != nil {
+			return nil, err
+		}
+		return sold, nil
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: bridge.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("server: negotiation bridge listening on", base)
+
+	// The "browser": POST the business request, answer the negotiation
+	// question carried in its response, receive the business result on the
+	// decision request's response.
+	client := &webcb.Client{Base: base, Decide: func(q webcb.Question) bool {
+		fmt.Printf("browser: negotiation question — constraint %s is %s for %s; user clicks ACCEPT\n",
+			q.Constraint, q.Degree, q.Context)
+		return true
+	}}
+	resp, err := client.Call("sell")
+	if err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("business operation failed: %s", resp.Error)
+	}
+	fmt.Printf("browser: business result received — %v tickets sold in total\n", resp.Result)
+
+	// A second user declines the threat: the sale is aborted.
+	decliner := &webcb.Client{Base: base, Decide: func(q webcb.Question) bool {
+		fmt.Println("browser: second user clicks REJECT")
+		return false
+	}}
+	resp, err = decliner.Call("sell")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("browser: second sale outcome — error=%q\n", resp.Error)
+	fmt.Printf("server: %d accepted threat(s) stored for reconciliation\n", n.Threats.Len())
+	return nil
+}

@@ -1,0 +1,3 @@
+module dedisys
+
+go 1.22

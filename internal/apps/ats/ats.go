@@ -1,0 +1,178 @@
+// Package ats implements the distributed alarm tracking system of §1.4
+// (Figure 1.5): Alarm and RepairReport entities maintained by administrative
+// and technical operators at different sites, bound by the inter-object
+// ComponentKindReferenceConsistency constraint. The constraint's metadata is
+// also provided as the XML configuration document of Listing 4.1 to exercise
+// the deployment path.
+package ats
+
+import (
+	"fmt"
+	"strings"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+)
+
+// Entity class names.
+const (
+	AlarmClass  = "Alarm"
+	ReportClass = "RepairReport"
+)
+
+// Attribute names.
+const (
+	AttrAlarmKind         = "alarmKind"
+	AttrDescription       = "description"
+	AttrAffectedComponent = "affectedComponent"
+	AttrRepairReport      = "repairReport" // Alarm -> RepairReport reference
+)
+
+// componentKinds maps an alarm kind to the component kinds whose repair may
+// remove it (the alarmKind-determines-affectedComponent rule of Figure 1.5).
+var componentKinds = map[string][]string{
+	"Signal": {"Signal Controller", "Signal Cable"},
+	"Power":  {"Power Supply", "Power Cable"},
+	"Radio":  {"Transmitter", "Antenna"},
+}
+
+// AllowedComponents returns the component kinds repairable for an alarm kind.
+func AllowedComponents(alarmKind string) []string {
+	return componentKinds[alarmKind]
+}
+
+// AlarmSchema returns the Alarm class schema (administrative operators).
+func AlarmSchema() *object.Schema {
+	s := object.NewSchema(AlarmClass)
+	s.Define("SetAlarmKind", func(e *object.Entity, args []any) (any, error) {
+		kind, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("ats: invalid alarm kind %v", args[0])
+		}
+		e.Set(AttrAlarmKind, kind)
+		return nil, nil
+	})
+	s.Define("SetDescription", func(e *object.Entity, args []any) (any, error) {
+		e.Set(AttrDescription, args[0])
+		return nil, nil
+	})
+	s.Define("AlarmKind", func(e *object.Entity, args []any) (any, error) {
+		return e.GetString(AttrAlarmKind), nil
+	})
+	return s
+}
+
+// ReportSchema returns the RepairReport class schema (technical operators).
+func ReportSchema() *object.Schema {
+	s := object.NewSchema(ReportClass)
+	s.Define("SetAffectedComponent", func(e *object.Entity, args []any) (any, error) {
+		comp, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("ats: invalid component %v", args[0])
+		}
+		e.Set(AttrAffectedComponent, comp)
+		return nil, nil
+	})
+	s.Define("AffectedComponent", func(e *object.Entity, args []any) (any, error) {
+		return e.GetString(AttrAffectedComponent), nil
+	})
+	return s
+}
+
+// NewAlarm returns the initial state of an alarm referencing its report.
+func NewAlarm(kind string, report object.ID) object.State {
+	return object.State{AttrAlarmKind: kind, AttrRepairReport: report, AttrDescription: ""}
+}
+
+// NewReport returns the initial state of a repair report. The alarm
+// reference is kept on the report too so the constraint can navigate from
+// its context object to the alarm.
+func NewReport(component string, alarm object.ID) object.State {
+	return object.State{AttrAffectedComponent: component, "alarm": alarm}
+}
+
+// ComponentKindReferenceConstraint validates that a repair report's affected
+// component is allowed for its alarm's kind. The context object is the
+// RepairReport; the alarm is resolved through the context (and may be stale
+// or unreachable in degraded mode — this is the canonical consistency-threat
+// example of §3.1).
+type ComponentKindReferenceConstraint struct{}
+
+var _ constraint.Constraint = ComponentKindReferenceConstraint{}
+
+// Validate implements constraint.Constraint.
+func (ComponentKindReferenceConstraint) Validate(ctx constraint.Context) (bool, error) {
+	report := ctx.ContextObject()
+	if report == nil {
+		return false, constraint.ErrUncheckable
+	}
+	alarmRef := report.GetRef("alarm")
+	if alarmRef == "" {
+		return true, nil // unlinked report constrains nothing
+	}
+	alarm, err := ctx.Lookup(alarmRef)
+	if err != nil {
+		return false, err // unreachable alarm: uncheckable
+	}
+	kind := alarm.GetString(AttrAlarmKind)
+	component := report.GetString(AttrAffectedComponent)
+	if component == "" {
+		return true, nil // repair not filed yet
+	}
+	for _, allowed := range AllowedComponents(kind) {
+		if allowed == component {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ConfigXML is the constraint configuration document of Listing 4.1 for the
+// ATS application, read at deployment time.
+const ConfigXML = `
+<constraints>
+  <constraint name="ComponentKindReferenceConsistency"
+      type="HARD" priority="RELAXABLE" contextObject="Y"
+      minSatisfactionDegree="UNCHECKABLE">
+    <class>ComponentKindReferenceConstraint</class>
+    <context-class>RepairReport</context-class>
+    <description>an alarm can only be removed by repairing a component kind
+      determined by its alarmKind</description>
+    <affected-methods>
+      <affected-method>
+        <context-preparation>
+          <preparation-class>CalledObjectIsContextObject</preparation-class>
+        </context-preparation>
+        <objectMethod name="SetAffectedComponent">
+          <objectClass>RepairReport</objectClass>
+        </objectMethod>
+      </affected-method>
+      <affected-method>
+        <context-preparation>
+          <preparation-class>ReferenceIsContextObject</preparation-class>
+          <params><param name="getter" value="repairReport"/></params>
+        </context-preparation>
+        <objectMethod name="SetAlarmKind">
+          <objectClass>Alarm</objectClass>
+        </objectMethod>
+      </affected-method>
+    </affected-methods>
+    <freshness-criteria>
+      <freshness-criterion><objectClass>Alarm</objectClass><maxAge>10</maxAge></freshness-criterion>
+    </freshness-criteria>
+  </constraint>
+</constraints>`
+
+// Factories returns the implementation-class factory registry for ConfigXML.
+func Factories() *constraint.FactoryRegistry {
+	f := constraint.NewFactoryRegistry()
+	f.Register("ComponentKindReferenceConstraint", func() constraint.Constraint {
+		return ComponentKindReferenceConstraint{}
+	})
+	return f
+}
+
+// Constraints parses ConfigXML into deployable constraints.
+func Constraints() ([]constraint.Configured, error) {
+	return constraint.ParseConfig(strings.NewReader(ConfigXML), Factories())
+}

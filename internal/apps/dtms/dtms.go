@@ -1,0 +1,145 @@
+// Package dtms implements the distributed telecommunication management
+// system of §1.4 — the dissertation's primary motivating application. A DTMS
+// instance per site manages the voice communication system (VCS) installed
+// there; hardware facilities are represented by objects bound to their site
+// for decentralised management, yet integrity constraints span objects of
+// multiple sites: the configuration parameters of the two endpoints of a
+// voice channel must be consistent to enable communication between sites.
+package dtms
+
+import (
+	"fmt"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+	"dedisys/internal/replication"
+	"dedisys/internal/transport"
+)
+
+// EndpointClass is the entity class of a channel endpoint (a VCS hardware
+// facility bound to one site).
+const EndpointClass = "ChannelEndpoint"
+
+// Attribute names.
+const (
+	AttrSite      = "site"
+	AttrChannel   = "channel"
+	AttrPeer      = "peer" // reference to the other endpoint
+	AttrFrequency = "frequency"
+	AttrCodec     = "codec"
+)
+
+// EndpointSchema returns the ChannelEndpoint class schema.
+func EndpointSchema() *object.Schema {
+	s := object.NewSchema(EndpointClass)
+	s.Define("SetFrequency", func(e *object.Entity, args []any) (any, error) {
+		f, ok := args[0].(int64)
+		if !ok || f <= 0 {
+			return nil, fmt.Errorf("dtms: invalid frequency %v", args[0])
+		}
+		e.Set(AttrFrequency, f)
+		return nil, nil
+	})
+	s.Define("SetCodec", func(e *object.Entity, args []any) (any, error) {
+		c, ok := args[0].(string)
+		if !ok || c == "" {
+			return nil, fmt.Errorf("dtms: invalid codec %v", args[0])
+		}
+		e.Set(AttrCodec, c)
+		return nil, nil
+	})
+	s.Define("Frequency", func(e *object.Entity, args []any) (any, error) {
+		return e.GetInt(AttrFrequency), nil
+	})
+	s.Define("Codec", func(e *object.Entity, args []any) (any, error) {
+		return e.GetString(AttrCodec), nil
+	})
+	return s
+}
+
+// NewEndpoint returns the initial state of a channel endpoint.
+func NewEndpoint(site, channel string, peer object.ID, frequency int64, codec string) object.State {
+	return object.State{
+		AttrSite:      site,
+		AttrChannel:   channel,
+		AttrPeer:      peer,
+		AttrFrequency: frequency,
+		AttrCodec:     codec,
+	}
+}
+
+// SiteBound returns the replica placement for a site-bound object: the
+// object's replicas live only on its site's node (§1.4: "a failure of a
+// DTMS site should not have effects beyond the specific site").
+func SiteBound(site transport.NodeID) replication.Info {
+	return replication.Info{Home: site, Replicas: []transport.NodeID{site}}
+}
+
+// ChannelConfigConstraint is the inter-site integrity constraint: the two
+// endpoints of a voice channel must agree on frequency and codec. Its
+// context object is one endpoint; the peer — typically on another site —
+// is resolved through the validation context and may be stale or
+// unreachable during degraded periods.
+type ChannelConfigConstraint struct{}
+
+var _ constraint.Constraint = ChannelConfigConstraint{}
+
+// Validate implements constraint.Constraint.
+func (ChannelConfigConstraint) Validate(ctx constraint.Context) (bool, error) {
+	ep := ctx.ContextObject()
+	if ep == nil {
+		return false, constraint.ErrUncheckable
+	}
+	peerRef := ep.GetRef(AttrPeer)
+	if peerRef == "" {
+		return true, nil // unconnected endpoint constrains nothing
+	}
+	peer, err := ctx.Lookup(peerRef)
+	if err != nil {
+		return false, err // unreachable site: uncheckable
+	}
+	return ep.GetInt(AttrFrequency) == peer.GetInt(AttrFrequency) &&
+		ep.GetString(AttrCodec) == peer.GetString(AttrCodec), nil
+}
+
+// Constraints returns the DTMS constraint deployment. The constraint is
+// tradeable with minimum degree UNCHECKABLE: sites must stay manageable
+// while links between them are down, and inconsistent channel configurations
+// are repaired during reconciliation.
+func Constraints() []constraint.Configured {
+	meta := constraint.Meta{
+		Name:         "ChannelConfigConsistency",
+		Type:         constraint.HardInvariant,
+		Priority:     constraint.Tradeable,
+		MinDegree:    constraint.Uncheckable,
+		NeedsContext: true,
+		ContextClass: EndpointClass,
+		Description:  "both endpoints of a voice channel must agree on frequency and codec",
+		Affected: []constraint.AffectedMethod{
+			{Class: EndpointClass, Method: "SetFrequency", Prep: constraint.CalledObjectIsContext{}},
+			{Class: EndpointClass, Method: "SetCodec", Prep: constraint.CalledObjectIsContext{}},
+		},
+		// Endpoints are created one site at a time; validating the channel
+		// before its peer exists would always be uncheckable.
+		SkipOnCreate: true,
+	}
+	return []constraint.Configured{{Meta: meta, Impl: ChannelConfigConstraint{}}}
+}
+
+// SyncPeer is a reconciliation helper: it copies the channel configuration
+// of the `from` endpoint onto the `to` endpoint through business operations
+// on the given invoker (roll-forward repair of an inconsistent channel).
+type Invoker interface {
+	Invoke(target object.ID, method string, args ...any) (any, error)
+}
+
+// SyncPeer applies from's frequency and codec to the endpoint `to`.
+func SyncPeer(inv Invoker, from *object.Entity, to object.ID) error {
+	if _, err := inv.Invoke(to, "SetFrequency", from.GetInt(AttrFrequency)); err != nil {
+		return fmt.Errorf("dtms: sync frequency: %w", err)
+	}
+	if _, err := inv.Invoke(to, "SetCodec", from.GetString(AttrCodec)); err != nil {
+		return fmt.Errorf("dtms: sync codec: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package dtms
+
+import (
+	"testing"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/core"
+	"dedisys/internal/node"
+	"dedisys/internal/object"
+	"dedisys/internal/reconcile"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+// setupDTMS builds two sites with one voice channel between them. The
+// endpoints are site-bound (not replicated across sites) but every node
+// learns the placement metadata so remote lookups work.
+func setupDTMS(t *testing.T) *node.Cluster {
+	t.Helper()
+	c, err := node.NewCluster(2, nil, func(o *node.Options) { o.RepoCache = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		n.RegisterSchema(EndpointSchema())
+		if err := n.DeployConstraints(Constraints()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	siteA, siteB := c.Node(0), c.Node(1)
+	if err := siteA.Create(EndpointClass, "ch1/A", NewEndpoint("A", "ch1", "ch1/B", 118000, "G.711"), SiteBound(siteA.ID)); err != nil {
+		t.Fatal(err)
+	}
+	if err := siteB.Create(EndpointClass, "ch1/B", NewEndpoint("B", "ch1", "ch1/A", 118000, "G.711"), SiteBound(siteB.ID)); err != nil {
+		t.Fatal(err)
+	}
+	// Exchange placement metadata (the naming/location step).
+	if _, err := siteA.Repl.ReconcileWith([]transport.NodeID{siteB.ID}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := siteB.Repl.ReconcileWith([]transport.NodeID{siteA.ID}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestHealthyCrossSiteValidation(t *testing.T) {
+	c := setupDTMS(t)
+	siteA := c.Node(0)
+
+	// Changing only one endpoint's frequency breaks channel consistency;
+	// the validation reaches the remote endpoint and rejects it.
+	if _, err := siteA.Invoke("ch1/A", "SetFrequency", int64(121500)); !core.IsViolation(err) {
+		t.Fatalf("one-sided retune err = %v", err)
+	}
+	// A coordinated retune within one transaction keeps the constraint —
+	// but endpoints are site-bound, so the remote endpoint cannot join the
+	// local transaction; the realistic healthy-mode flow changes codec on
+	// both sites one after the other with a transiently violated
+	// constraint, which strict mode forbids. Setting the same value is
+	// always fine:
+	if _, err := siteA.Invoke("ch1/A", "SetFrequency", int64(118000)); err != nil {
+		t.Fatalf("no-op retune err = %v", err)
+	}
+}
+
+func TestDegradedSitesStayManageable(t *testing.T) {
+	c := setupDTMS(t)
+	siteA, siteB := c.Node(0), c.Node(1)
+	c.Partition([]transport.NodeID{siteA.ID}, []transport.NodeID{siteB.ID})
+
+	// The peer endpoint is unreachable: validation is uncheckable, the
+	// threat is accepted (min degree UNCHECKABLE), the site stays
+	// manageable.
+	if _, err := siteA.Invoke("ch1/A", "SetFrequency", int64(121500)); err != nil {
+		t.Fatalf("degraded retune: %v", err)
+	}
+	ths := siteA.Threats.All()
+	if len(ths) != 1 || ths[0].Degree != constraint.Uncheckable {
+		t.Fatalf("threats = %+v", ths)
+	}
+	// The other site independently changes the codec.
+	if _, err := siteB.Invoke("ch1/B", "SetCodec", "OPUS"); err != nil {
+		t.Fatalf("site B codec change: %v", err)
+	}
+}
+
+func TestReconciliationRepairsChannel(t *testing.T) {
+	c := setupDTMS(t)
+	siteA, siteB := c.Node(0), c.Node(1)
+	c.Partition([]transport.NodeID{siteA.ID}, []transport.NodeID{siteB.ID})
+	if _, err := siteA.Invoke("ch1/A", "SetFrequency", int64(121500)); err != nil {
+		t.Fatal(err)
+	}
+	c.Heal()
+
+	// The reconciliation handler re-synchronises the channel: site A's
+	// configuration (the latest intent) is applied to the peer endpoint.
+	report, err := reconcile.Run(siteA, []transport.NodeID{siteB.ID}, reconcile.Handlers{
+		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
+			ep, err := siteA.Registry.Get(th.ContextID)
+			if err != nil {
+				return false
+			}
+			return SyncPeer(siteA, ep, ep.GetRef(AttrPeer)) == nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Constraint.Violations != 1 || report.Constraint.Resolved != 1 {
+		t.Fatalf("report = %+v", report.Constraint)
+	}
+	epB, err := siteB.Registry.Get("ch1/B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epB.GetInt(AttrFrequency) != 121500 {
+		t.Fatalf("peer frequency = %d", epB.GetInt(AttrFrequency))
+	}
+	if siteA.Threats.Len() != 0 {
+		t.Fatalf("threats left = %d", siteA.Threats.Len())
+	}
+}
+
+func TestSchemaValidatesArguments(t *testing.T) {
+	s := EndpointSchema()
+	e := EndpointSchemaEntity()
+	set, _ := s.Method("SetFrequency")
+	if _, err := set.Fn(e, []any{int64(-5)}); err == nil {
+		t.Fatal("negative frequency accepted")
+	}
+	if _, err := set.Fn(e, []any{"x"}); err == nil {
+		t.Fatal("non-integer frequency accepted")
+	}
+	codec, _ := s.Method("SetCodec")
+	if _, err := codec.Fn(e, []any{""}); err == nil {
+		t.Fatal("empty codec accepted")
+	}
+	freq, _ := s.Method("Frequency")
+	v, _ := freq.Fn(e, nil)
+	if v.(int64) != 118000 {
+		t.Fatalf("frequency = %v", v)
+	}
+	cd, _ := s.Method("Codec")
+	v, _ = cd.Fn(e, nil)
+	if v.(string) != "G.711" {
+		t.Fatalf("codec = %v", v)
+	}
+}
+
+// EndpointSchemaEntity builds a standalone endpoint for schema tests.
+func EndpointSchemaEntity() *object.Entity {
+	return object.New(EndpointClass, "e1", NewEndpoint("A", "ch", "", 118000, "G.711"))
+}

@@ -1,0 +1,169 @@
+// Package flight implements the distributed flight booking application of
+// §1.3 — the dissertation's running example — on top of the middleware: the
+// Flight entity, the ticket-constraint of Figure 1.6 (sold ≤ seats), and the
+// partition-sensitive variant of §5.5.2 that splits the remaining tickets
+// across partitions by weight.
+package flight
+
+import (
+	"fmt"
+	"sync"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+)
+
+// Class is the entity class name.
+const Class = "Flight"
+
+// Attribute names of the Flight entity.
+const (
+	AttrSeats = "seats"
+	AttrSold  = "sold"
+)
+
+// Schema returns the Flight class schema.
+func Schema() *object.Schema {
+	s := object.NewSchema(Class)
+	s.Define("SellTickets", func(e *object.Entity, args []any) (any, error) {
+		count, ok := args[0].(int64)
+		if !ok || count < 0 {
+			return nil, fmt.Errorf("flight: invalid ticket count %v", args[0])
+		}
+		e.Set(AttrSold, e.GetInt(AttrSold)+count)
+		return e.GetInt(AttrSold), nil
+	})
+	s.Define("CancelTickets", func(e *object.Entity, args []any) (any, error) {
+		count, ok := args[0].(int64)
+		if !ok || count < 0 {
+			return nil, fmt.Errorf("flight: invalid ticket count %v", args[0])
+		}
+		e.Set(AttrSold, e.GetInt(AttrSold)-count)
+		return e.GetInt(AttrSold), nil
+	})
+	// Rebook moves passengers off this flight (compensation during
+	// reconciliation); not a Set*-named method, so its kind is explicit.
+	s.DefineKind("Rebook", object.Write, func(e *object.Entity, args []any) (any, error) {
+		count, ok := args[0].(int64)
+		if !ok || count < 0 {
+			return nil, fmt.Errorf("flight: invalid rebook count %v", args[0])
+		}
+		e.Set(AttrSold, e.GetInt(AttrSold)-count)
+		return e.GetInt(AttrSold), nil
+	})
+	s.Define("Sold", func(e *object.Entity, args []any) (any, error) {
+		return e.GetInt(AttrSold), nil
+	})
+	s.Define("Seats", func(e *object.Entity, args []any) (any, error) {
+		return e.GetInt(AttrSeats), nil
+	})
+	return s
+}
+
+// New returns the initial state of a flight.
+func New(seats, sold int64) object.State {
+	return object.State{AttrSeats: seats, AttrSold: sold}
+}
+
+// affected lists the methods that may violate the ticket constraint.
+func affected() []constraint.AffectedMethod {
+	out := make([]constraint.AffectedMethod, 0, 3)
+	for _, m := range []string{"SellTickets", "CancelTickets", "Rebook"} {
+		out = append(out, constraint.AffectedMethod{Class: Class, Method: m, Prep: constraint.CalledObjectIsContext{}})
+	}
+	return out
+}
+
+// TicketConstraint returns the ticket-constraint of Figure 1.6: the number
+// of sold tickets must not exceed the seats.
+func TicketConstraint(ctype constraint.Type, prio constraint.Priority, minDegree constraint.Degree) constraint.Configured {
+	return constraint.Configured{
+		Meta: constraint.Meta{
+			Name:         "TicketConstraint",
+			Type:         ctype,
+			Priority:     prio,
+			MinDegree:    minDegree,
+			NeedsContext: true,
+			ContextClass: Class,
+			Description:  "sold tickets must not exceed available seats",
+			Affected:     affected(),
+		},
+		Impl: constraint.Func(func(ctx constraint.Context) (bool, error) {
+			f := ctx.ContextObject()
+			if f == nil {
+				return false, constraint.ErrUncheckable
+			}
+			return f.GetInt(AttrSold) <= f.GetInt(AttrSeats), nil
+		}),
+	}
+}
+
+// PartitionSensitiveTicketConstraint is the §5.5.2 improvement: during
+// degraded mode the still-available tickets t (seats minus tickets sold in
+// healthy mode) are partitioned by the current partition weight, so each
+// partition may only sell its share tx and overbooking is avoided without
+// giving up write availability.
+//
+// The constraint remembers the number of tickets sold while the system was
+// healthy (weight 1) and, in degraded mode, limits sales to
+// healthySold + floor((seats-healthySold) * weight).
+type PartitionSensitiveTicketConstraint struct {
+	mu          sync.Mutex
+	healthySold map[object.ID]int64
+}
+
+var _ constraint.Constraint = (*PartitionSensitiveTicketConstraint)(nil)
+
+// NewPartitionSensitive creates the constraint implementation.
+func NewPartitionSensitive() *PartitionSensitiveTicketConstraint {
+	return &PartitionSensitiveTicketConstraint{healthySold: make(map[object.ID]int64)}
+}
+
+// Validate implements constraint.Constraint.
+func (p *PartitionSensitiveTicketConstraint) Validate(ctx constraint.Context) (bool, error) {
+	f := ctx.ContextObject()
+	if f == nil {
+		return false, constraint.ErrUncheckable
+	}
+	sold, seats := f.GetInt(AttrSold), f.GetInt(AttrSeats)
+	weight := ctx.PartitionWeight()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if weight >= 1 {
+		if sold > seats {
+			return false, nil
+		}
+		p.healthySold[f.ID()] = sold
+		return true, nil
+	}
+	base, ok := p.healthySold[f.ID()]
+	if !ok {
+		// Never seen healthy: fall back to the plain constraint.
+		return sold <= seats, nil
+	}
+	remaining := seats - base
+	if remaining < 0 {
+		remaining = 0
+	}
+	share := int64(float64(remaining) * weight)
+	return sold <= base+share, nil
+}
+
+// Configured wraps the partition-sensitive constraint with metadata. The
+// minimum degree PossiblySatisfied rejects possibly violated sales, which is
+// exactly the point: a partition exceeding its ticket share is stopped.
+func (p *PartitionSensitiveTicketConstraint) Configured() constraint.Configured {
+	return constraint.Configured{
+		Meta: constraint.Meta{
+			Name:         "PartitionSensitiveTicketConstraint",
+			Type:         constraint.HardInvariant,
+			Priority:     constraint.Tradeable,
+			MinDegree:    constraint.PossiblySatisfied,
+			NeedsContext: true,
+			ContextClass: Class,
+			Description:  "per-partition ticket share must not be exceeded (§5.5.2)",
+			Affected:     affected(),
+		},
+		Impl: p,
+	}
+}

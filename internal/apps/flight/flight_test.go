@@ -1,0 +1,159 @@
+package flight
+
+import (
+	"testing"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+)
+
+// fakeCtx is a minimal validation context for app-level constraint tests.
+type fakeCtx struct {
+	obj    *object.Entity
+	weight float64
+}
+
+func (f *fakeCtx) ContextObject() *object.Entity { return f.obj }
+func (f *fakeCtx) CalledObject() *object.Entity  { return f.obj }
+func (f *fakeCtx) Method() string                { return "" }
+func (f *fakeCtx) Args() []any                   { return nil }
+func (f *fakeCtx) Result() any                   { return nil }
+func (f *fakeCtx) PreState() map[string]any      { return nil }
+func (f *fakeCtx) PartitionWeight() float64      { return f.weight }
+func (f *fakeCtx) Lookup(id object.ID) (*object.Entity, error) {
+	return nil, constraint.ErrUncheckable
+}
+func (f *fakeCtx) Query(class string) ([]*object.Entity, error) { return nil, nil }
+
+var _ constraint.Context = (*fakeCtx)(nil)
+
+func TestSchemaMethods(t *testing.T) {
+	s := Schema()
+	e := object.New(Class, "f1", New(80, 70))
+	sell, _ := s.Method("SellTickets")
+	if sell.Kind != object.Write {
+		t.Fatal("SellTickets not a write")
+	}
+	if _, err := sell.Fn(e, []any{int64(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if e.GetInt(AttrSold) != 75 {
+		t.Fatalf("sold = %d", e.GetInt(AttrSold))
+	}
+	cancel, _ := s.Method("CancelTickets")
+	if _, err := cancel.Fn(e, []any{int64(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if e.GetInt(AttrSold) != 72 {
+		t.Fatalf("sold = %d", e.GetInt(AttrSold))
+	}
+	rebook, _ := s.Method("Rebook")
+	if rebook.Kind != object.Write {
+		t.Fatal("Rebook must be declared a write")
+	}
+	if _, err := rebook.Fn(e, []any{int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	sold, _ := s.Method("Sold")
+	v, _ := sold.Fn(e, nil)
+	if v.(int64) != 70 {
+		t.Fatalf("Sold = %v", v)
+	}
+	seats, _ := s.Method("Seats")
+	v, _ = seats.Fn(e, nil)
+	if v.(int64) != 80 {
+		t.Fatalf("Seats = %v", v)
+	}
+	// Invalid arguments are rejected.
+	if _, err := sell.Fn(e, []any{"nope"}); err == nil {
+		t.Fatal("invalid sell arg accepted")
+	}
+	if _, err := sell.Fn(e, []any{int64(-1)}); err == nil {
+		t.Fatal("negative sell accepted")
+	}
+	if _, err := cancel.Fn(e, []any{int64(-1)}); err == nil {
+		t.Fatal("negative cancel accepted")
+	}
+	if _, err := rebook.Fn(e, []any{int64(-1)}); err == nil {
+		t.Fatal("negative rebook accepted")
+	}
+}
+
+func TestTicketConstraint(t *testing.T) {
+	cfg := TicketConstraint(constraint.HardInvariant, constraint.Tradeable, constraint.Uncheckable)
+	if err := cfg.Meta.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Meta.Affected) != 3 {
+		t.Fatalf("affected = %d", len(cfg.Meta.Affected))
+	}
+	ok, err := cfg.Impl.Validate(&fakeCtx{obj: object.New(Class, "f", New(80, 80)), weight: 1})
+	if err != nil || !ok {
+		t.Fatalf("full flight: %v %v", ok, err)
+	}
+	ok, err = cfg.Impl.Validate(&fakeCtx{obj: object.New(Class, "f", New(80, 81)), weight: 1})
+	if err != nil || ok {
+		t.Fatalf("overbooked: %v %v", ok, err)
+	}
+	if _, err := cfg.Impl.Validate(&fakeCtx{obj: nil, weight: 1}); err == nil {
+		t.Fatal("nil context accepted")
+	}
+}
+
+func TestPartitionSensitiveConstraint(t *testing.T) {
+	p := NewPartitionSensitive()
+	cfg := p.Configured()
+	if err := cfg.Meta.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := object.New(Class, "f1", New(80, 70))
+
+	// Healthy validation captures the baseline (70 sold).
+	ok, err := p.Validate(&fakeCtx{obj: e, weight: 1})
+	if err != nil || !ok {
+		t.Fatalf("healthy: %v %v", ok, err)
+	}
+
+	// Degraded with weight 0.5: 10 remaining tickets → share 5.
+	e.Set(AttrSold, int64(75))
+	ok, err = p.Validate(&fakeCtx{obj: e, weight: 0.5})
+	if err != nil || !ok {
+		t.Fatalf("within share: %v %v", ok, err)
+	}
+	e.Set(AttrSold, int64(76))
+	ok, err = p.Validate(&fakeCtx{obj: e, weight: 0.5})
+	if err != nil || ok {
+		t.Fatalf("beyond share accepted: %v %v", ok, err)
+	}
+
+	// Healthy overbooking still rejected.
+	e.Set(AttrSold, int64(81))
+	ok, err = p.Validate(&fakeCtx{obj: e, weight: 1})
+	if err != nil || ok {
+		t.Fatalf("healthy overbooking: %v %v", ok, err)
+	}
+
+	// Unknown object in degraded mode falls back to the plain rule.
+	other := object.New(Class, "f2", New(10, 5))
+	ok, err = p.Validate(&fakeCtx{obj: other, weight: 0.5})
+	if err != nil || !ok {
+		t.Fatalf("fallback: %v %v", ok, err)
+	}
+
+	// Baseline above capacity clamps the remaining share to zero.
+	crowded := object.New(Class, "f3", New(10, 12))
+	if _, err := p.Validate(&fakeCtx{obj: crowded, weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	crowded.Set(AttrSold, int64(11))
+	// baseline was rejected (12 > 10), so no healthy capture happened and
+	// the fallback applies: 11 > 10 → reject.
+	ok, err = p.Validate(&fakeCtx{obj: crowded, weight: 0.5})
+	if err != nil || ok {
+		t.Fatalf("clamped share: %v %v", ok, err)
+	}
+
+	if _, err := p.Validate(&fakeCtx{obj: nil, weight: 0.5}); err == nil {
+		t.Fatal("nil context accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryAndByID(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 14 {
+		t.Fatalf("registry size = %d", len(reg))
+	}
+	seen := make(map[string]bool)
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if _, err := ByID(e.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestResultTable(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Columns: []string{"a", "b"}}
+	r.AddRow("row1", 1, 2.5)
+	r.AddRow("row2", 1234.5, 3)
+	r.AddNote("a note %d", 7)
+	if v, ok := r.Cell("row1", "b"); !ok || v != 2.5 {
+		t.Fatalf("Cell = %v %v", v, ok)
+	}
+	if _, ok := r.Cell("row1", "nope"); ok {
+		t.Fatal("missing column found")
+	}
+	if _, ok := r.Cell("nope", "a"); ok {
+		t.Fatal("missing row found")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x — t ==", "row1", "1234.5", "a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Ops <= 0 || c.Runs <= 0 || c.Entities <= 0 {
+		t.Fatalf("normalize = %+v", c)
+	}
+	d := DefaultConfig()
+	if d.Ops != 1000 || d.NetCost <= 0 || d.StoreCost <= 0 {
+		t.Fatalf("default = %+v", d)
+	}
+}
+
+func TestOpsPerSecond(t *testing.T) {
+	if got := opsPerSecond(100, time.Second); got != 100 {
+		t.Fatalf("ops/s = %f", got)
+	}
+	if got := opsPerSecond(100, 0); got != 0 {
+		t.Fatalf("zero duration = %f", got)
+	}
+}
+
+// TestAllExperimentsRunQuick smoke-runs every registered experiment at the
+// quick scale and sanity-checks the shape of a few headline results.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	cfg := QuickConfig()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			var buf bytes.Buffer
+			res.Print(&buf)
+			if buf.Len() == 0 {
+				t.Fatal("empty output")
+			}
+		})
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	res, err := runFig21(Config{Ops: 1000, Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, ok := res.Cell("handcrafted", "overhead_vs_handcrafted")
+	if !ok || hand != 1 {
+		t.Fatalf("handcrafted overhead = %f", hand)
+	}
+	aspect, ok := res.Cell("aspect-interceptor", "overhead_vs_handcrafted")
+	if !ok {
+		t.Fatal("aspect row missing")
+	}
+	repoOpt, ok := res.Cell("dynrepo-opt", "overhead_vs_handcrafted")
+	if !ok {
+		t.Fatal("dynrepo-opt row missing")
+	}
+	// Shape: interceptor-encoded checks are nearly free; the optimized
+	// repository costs integer multiples.
+	if aspect > 2.0 {
+		t.Errorf("aspect-interceptor overhead = %.2f, want ~1", aspect)
+	}
+	if repoOpt < aspect {
+		t.Errorf("repository (%.2f) should cost more than woven checks (%.2f)", repoOpt, aspect)
+	}
+}
+
+func TestFig22Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	res, err := runFig22(Config{Ops: 1000, Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, ok := res.Cell("interpreted-ocl", "overhead_vs_handcrafted")
+	if !ok {
+		t.Fatal("interpreted row missing")
+	}
+	proxyRaw, ok := res.Cell("proxyrepo", "overhead_vs_handcrafted")
+	if !ok {
+		t.Fatal("proxyrepo row missing")
+	}
+	if interp < 5 {
+		t.Errorf("interpreted overhead = %.2f, want the slow end", interp)
+	}
+	if proxyRaw < 2 {
+		t.Errorf("uncached proxy repo overhead = %.2f, want clearly slow", proxyRaw)
+	}
+}
+
+func TestAvailabilityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	res, err := runAvail(Config{Ops: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, ok := res.Cell("P4 + trading", "success_fraction")
+	if !ok {
+		t.Fatal("P4 row missing")
+	}
+	pp, ok := res.Cell("primary partition", "success_fraction")
+	if !ok {
+		t.Fatal("primary partition row missing")
+	}
+	if p4 != 1.0 {
+		t.Errorf("P4 success fraction = %.2f, want 1.0 (all partitions writable)", p4)
+	}
+	if pp >= p4 {
+		t.Errorf("primary partition (%.2f) should lose to P4 (%.2f)", pp, p4)
+	}
+}
+
+func TestPSCShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	res, err := runPSC(Config{Ops: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainOver, ok := res.Cell("plain tradeable constraint", "overbooked")
+	if !ok {
+		t.Fatal("plain row missing")
+	}
+	pscOver, ok := res.Cell("partition-sensitive constraint", "overbooked")
+	if !ok {
+		t.Fatal("psc row missing")
+	}
+	if plainOver <= 0 {
+		t.Errorf("plain constraint overbooked = %.0f, want > 0", plainOver)
+	}
+	if pscOver != 0 {
+		t.Errorf("partition-sensitive overbooked = %.0f, want 0", pscOver)
+	}
+	soldA, _ := res.Cell("partition-sensitive constraint", "sold_A")
+	soldB, _ := res.Cell("partition-sensitive constraint", "sold_B")
+	if soldA != 5 || soldB != 5 {
+		t.Errorf("shares = %v/%v, want 5/5 of the 10 remaining tickets", soldA, soldB)
+	}
+}
+
+func TestFig58Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	res, err := runFig58(Config{Ops: 100, StoreCost: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the first iteration, identical-once should clearly outpace full
+	// history (reads instead of multi-record writes).
+	fullLater, _ := res.Cell("iteration 3", "full_history")
+	onceLater, _ := res.Cell("iteration 3", "identical_once")
+	if onceLater <= fullLater {
+		t.Errorf("identical-once (%.1f) should beat full history (%.1f) in later iterations", onceLater, fullLater)
+	}
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"dedisys/internal/apps/flight"
+	"dedisys/internal/constraint"
+	"dedisys/internal/node"
+	"dedisys/internal/object"
+	"dedisys/internal/replication"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+// runPSC regenerates the §5.5.2 study: during a partition both sides sell
+// tickets one by one until rejected. The plain tradeable ticket constraint
+// accepts every possibly-satisfied sale and overbooks; the
+// partition-sensitive constraint confines each partition to its ticket
+// share and avoids the inconsistency entirely.
+func runPSC(cfg Config) (*Result, error) {
+	cfg = cfg.normalize()
+	res := &Result{ID: "exp-psc", Title: "partition-sensitive ticket constraint",
+		Columns: []string{"sold_A", "sold_B", "final_sold", "overbooked"}}
+
+	const seats, preSold = 80, 70
+	for _, sensitive := range []bool{false, true} {
+		c, err := node.NewCluster(2, nil, func(opt *node.Options) {
+			opt.RepoCache = true
+			opt.ThreatPolicy = threat.IdenticalOnce
+		})
+		if err != nil {
+			return nil, err
+		}
+		var cfgd constraint.Configured
+		if sensitive {
+			// One shared implementation instance: the healthy baseline the
+			// constraint saves is replicated state available in every
+			// partition (§5.5.2).
+			cfgd = flight.NewPartitionSensitive().Configured()
+		} else {
+			// Accept possibly-satisfied sales, reject possibly-violated
+			// ones — the §1.3 behaviour where each partition fills up to
+			// the full seat count on its stale view.
+			cfgd = flight.TicketConstraint(constraint.HardInvariant, constraint.Tradeable, constraint.PossiblySatisfied)
+		}
+		for _, n := range c.Nodes {
+			n.RegisterSchema(flight.Schema())
+			if err := n.DeployConstraints([]constraint.Configured{cfgd}); err != nil {
+				return nil, err
+			}
+		}
+		n1, n2 := c.Node(0), c.Node(1)
+		if err := n1.Create(flight.Class, "f1", flight.New(seats, preSold), c.AllReplicas("n1")); err != nil {
+			return nil, err
+		}
+		if sensitive {
+			// A healthy validation captures the baseline for the share
+			// computation (the constraint saves the healthy-mode sales).
+			if _, err := n1.Invoke("f1", "SellTickets", int64(0)); err != nil {
+				return nil, err
+			}
+		}
+		c.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+
+		sell := func(n *node.Node) int64 {
+			var sold int64
+			for i := 0; i < seats; i++ { // more attempts than seats exist
+				if _, err := n.Invoke("f1", "SellTickets", int64(1)); err != nil {
+					break
+				}
+				sold++
+			}
+			return sold
+		}
+		soldA := sell(n1)
+		soldB := sell(n2)
+
+		c.Heal()
+		_, err = n1.Repl.ReconcileWith([]transport.NodeID{"n2"}, func(cf replication.Conflict) (object.State, error) {
+			merged := cf.Local.Clone()
+			local := cf.Local[flight.AttrSold].(int64)
+			remote := cf.Remote[flight.AttrSold].(int64)
+			merged[flight.AttrSold] = preSold + (local - preSold) + (remote - preSold)
+			return merged, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		e, err := n1.Registry.Get("f1")
+		if err != nil {
+			return nil, err
+		}
+		final := e.GetInt(flight.AttrSold)
+		over := final - seats
+		if over < 0 {
+			over = 0
+		}
+		label := "plain tradeable constraint"
+		if sensitive {
+			label = "partition-sensitive constraint"
+		}
+		res.AddRow(label, float64(soldA), float64(soldB), float64(final), float64(over))
+	}
+	res.AddNote("80 seats, 70 sold before the partition; equal node weights give each side half of the 10 remaining tickets")
+	return res, nil
+}

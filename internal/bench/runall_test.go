@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, QuickConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range Registry() {
+		if !strings.Contains(out, "== "+e.ID+" ") {
+			t.Errorf("output missing %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package constraint
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// Factory creates a constraint implementation instance. Because Go has no
+// by-name class instantiation, applications register factories for the
+// implementation classes named in the configuration file (the <class>
+// element of Listing 4.1).
+type Factory func() Constraint
+
+// FactoryRegistry maps implementation class names to factories.
+type FactoryRegistry struct {
+	factories map[string]Factory
+}
+
+// NewFactoryRegistry creates an empty factory registry.
+func NewFactoryRegistry() *FactoryRegistry {
+	return &FactoryRegistry{factories: make(map[string]Factory)}
+}
+
+// Register installs a factory for an implementation class name.
+func (r *FactoryRegistry) Register(class string, f Factory) {
+	r.factories[class] = f
+}
+
+// New instantiates the implementation class.
+func (r *FactoryRegistry) New(class string) (Constraint, error) {
+	f, ok := r.factories[class]
+	if !ok {
+		return nil, fmt.Errorf("constraint: no factory registered for implementation class %q", class)
+	}
+	return f(), nil
+}
+
+// The XML document structure of the constraint configuration file
+// (Listing 4.1), read at application deployment time (§4.2.2).
+
+type xmlConfig struct {
+	XMLName     xml.Name        `xml:"constraints"`
+	Constraints []xmlConstraint `xml:"constraint"`
+}
+
+type xmlConstraint struct {
+	Name          string         `xml:"name,attr"`
+	Type          string         `xml:"type,attr"`
+	Priority      string         `xml:"priority,attr"`
+	ContextObject string         `xml:"contextObject,attr"`
+	MinDegree     string         `xml:"minSatisfactionDegree,attr"`
+	Scope         string         `xml:"scope,attr"`
+	Class         string         `xml:"class"`
+	ContextClass  string         `xml:"context-class"`
+	Description   string         `xml:"description"`
+	Affected      []xmlAffected  `xml:"affected-methods>affected-method"`
+	Freshness     []xmlFreshness `xml:"freshness-criteria>freshness-criterion"`
+	Reconcile     *xmlReconcile  `xml:"reconciliation"`
+}
+
+type xmlAffected struct {
+	Prep   xmlPreparation  `xml:"context-preparation"`
+	Method xmlObjectMethod `xml:"objectMethod"`
+}
+
+type xmlPreparation struct {
+	Class  string     `xml:"preparation-class"`
+	Params []xmlParam `xml:"params>param"`
+}
+
+type xmlParam struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlObjectMethod struct {
+	Name  string `xml:"name,attr"`
+	Class string `xml:"objectClass"`
+}
+
+type xmlFreshness struct {
+	Class  string `xml:"objectClass"`
+	MaxAge int64  `xml:"maxAge"`
+}
+
+type xmlReconcile struct {
+	AllowRollback           bool `xml:"allow-rollback"`
+	NotifyOnReplicaConflict bool `xml:"notify-on-replica-conflict"`
+}
+
+// Configured pairs parsed metadata with the instantiated implementation.
+type Configured struct {
+	Meta Meta
+	Impl Constraint
+}
+
+// ParseConfig reads a constraint configuration document and instantiates the
+// implementation classes through the factory registry.
+func ParseConfig(r io.Reader, factories *FactoryRegistry) ([]Configured, error) {
+	var doc xmlConfig
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("constraint: parse config: %w", err)
+	}
+	out := make([]Configured, 0, len(doc.Constraints))
+	for _, c := range doc.Constraints {
+		meta, err := metaFromXML(c)
+		if err != nil {
+			return nil, err
+		}
+		impl, err := factories.New(c.Class)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %s: %w", c.Name, err)
+		}
+		out = append(out, Configured{Meta: meta, Impl: impl})
+	}
+	return out, nil
+}
+
+func metaFromXML(c xmlConstraint) (Meta, error) {
+	t, err := ParseType(c.Type)
+	if err != nil {
+		return Meta{}, fmt.Errorf("constraint %s: %w", c.Name, err)
+	}
+	p, err := ParsePriority(c.Priority)
+	if err != nil {
+		return Meta{}, fmt.Errorf("constraint %s: %w", c.Name, err)
+	}
+	d, err := ParseDegree(c.MinDegree)
+	if err != nil {
+		return Meta{}, fmt.Errorf("constraint %s: %w", c.Name, err)
+	}
+	scope := InterObject
+	if c.Scope == "INTRA" {
+		scope = IntraObject
+	}
+	meta := Meta{
+		Name:         c.Name,
+		Type:         t,
+		Priority:     p,
+		Scope:        scope,
+		MinDegree:    d,
+		NeedsContext: c.ContextObject == "Y",
+		ContextClass: c.ContextClass,
+		Description:  c.Description,
+	}
+	for _, a := range c.Affected {
+		prep, err := preparerFromXML(a.Prep)
+		if err != nil {
+			return Meta{}, fmt.Errorf("constraint %s: %w", c.Name, err)
+		}
+		meta.Affected = append(meta.Affected, AffectedMethod{
+			Class:  a.Method.Class,
+			Method: a.Method.Name,
+			Prep:   prep,
+		})
+	}
+	for _, f := range c.Freshness {
+		meta.Freshness = append(meta.Freshness, FreshnessCriterion{Class: f.Class, MaxAge: f.MaxAge})
+	}
+	if c.Reconcile != nil {
+		meta.Instructions = ReconciliationInstructions{
+			AllowRollback:           c.Reconcile.AllowRollback,
+			NotifyOnReplicaConflict: c.Reconcile.NotifyOnReplicaConflict,
+		}
+	}
+	if err := meta.Validate(); err != nil {
+		return Meta{}, err
+	}
+	return meta, nil
+}
+
+func preparerFromXML(p xmlPreparation) (ContextPreparer, error) {
+	switch p.Class {
+	case "", "CalledObjectIsContextObject":
+		return CalledObjectIsContext{}, nil
+	case "ReferenceIsContextObject":
+		for _, param := range p.Params {
+			if param.Name == "getter" || param.Name == "attr" {
+				return ReferenceIsContext{Attr: param.Value}, nil
+			}
+		}
+		return nil, fmt.Errorf("constraint: ReferenceIsContextObject requires a getter/attr param")
+	default:
+		return nil, fmt.Errorf("constraint: unknown preparation class %q", p.Class)
+	}
+}

@@ -1,0 +1,55 @@
+package constraint_test
+
+import (
+	"fmt"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+)
+
+// exampleCtx is a minimal validation context for the examples.
+type exampleCtx struct {
+	obj *object.Entity
+}
+
+func (c exampleCtx) ContextObject() *object.Entity            { return c.obj }
+func (c exampleCtx) CalledObject() *object.Entity             { return c.obj }
+func (c exampleCtx) Method() string                           { return "" }
+func (c exampleCtx) Args() []any                              { return nil }
+func (c exampleCtx) Result() any                              { return nil }
+func (c exampleCtx) PreState() map[string]any                 { return nil }
+func (c exampleCtx) PartitionWeight() float64                 { return 1 }
+func (c exampleCtx) Lookup(object.ID) (*object.Entity, error) { return nil, constraint.ErrUncheckable }
+func (c exampleCtx) Query(string) ([]*object.Entity, error)   { return nil, nil }
+
+// The ticket-constraint of Figure 1.6, written declaratively: the design-
+// phase OCL specification becomes the runtime constraint.
+func ExampleFromExpr() {
+	ticket := constraint.MustFromExpr("sold <= seats")
+	flight := object.New("Flight", "LH1234", object.State{
+		"seats": int64(80),
+		"sold":  int64(70),
+	})
+	ok, _ := ticket.Validate(exampleCtx{obj: flight})
+	fmt.Println("70 of 80 sold:", ok)
+
+	flight.Set("sold", int64(81))
+	ok, _ = ticket.Validate(exampleCtx{obj: flight})
+	fmt.Println("81 of 80 sold:", ok)
+	// Output:
+	// 70 of 80 sold: true
+	// 81 of 80 sold: false
+}
+
+// Satisfaction degrees combine per the rules of §3.1: one unreliable result
+// taints the whole set.
+func ExampleCombineAll() {
+	overall := constraint.CombineAll(
+		constraint.Satisfied,
+		constraint.PossiblySatisfied, // validated on a stale replica
+		constraint.Satisfied,
+	)
+	fmt.Println(overall, "— is that a consistency threat?", overall.IsThreat())
+	// Output:
+	// POSSIBLY_SATISFIED — is that a consistency threat? true
+}

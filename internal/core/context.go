@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+	"dedisys/internal/threat"
+)
+
+// valContext is the ConstraintValidationContext implementation (§4.2.1).
+// Every object access through the context is recorded so the CCMgr can
+// gather the affected objects and ask the replication manager whether any
+// of them are possibly stale (Figure 4.4).
+type valContext struct {
+	ccm        *Manager
+	contextObj *object.Entity
+	called     *object.Entity
+	method     string
+	args       []any
+	result     any
+	pre        map[string]any
+
+	accessed    []threat.AffectedObject
+	seen        map[object.ID]struct{}
+	unreachable bool
+}
+
+var _ constraint.Context = (*valContext)(nil)
+
+func (m *Manager) newContext(contextObj, called *object.Entity, method string, args []any, result any) *valContext {
+	ctx := &valContext{
+		ccm:        m,
+		contextObj: contextObj,
+		called:     called,
+		method:     method,
+		args:       args,
+		result:     result,
+		pre:        make(map[string]any),
+		seen:       make(map[object.ID]struct{}),
+	}
+	// The context and called objects are affected objects themselves.
+	if called != nil {
+		ctx.recordLocal(called)
+	}
+	if contextObj != nil && contextObj != called {
+		ctx.recordLocal(contextObj)
+	}
+	return ctx
+}
+
+// recordLocal records an access to an entity already in hand, asking the
+// replication manager for its staleness.
+func (ctx *valContext) recordLocal(e *object.Entity) {
+	if _, ok := ctx.seen[e.ID()]; ok {
+		return
+	}
+	st := constraint.Staleness{Version: e.Version(), EstimatedLatest: e.Version()}
+	if ctx.ccm.repl != nil {
+		if _, s, err := ctx.ccm.repl.Lookup(e.ID()); err == nil {
+			st = s
+		}
+	}
+	ctx.seen[e.ID()] = struct{}{}
+	ctx.accessed = append(ctx.accessed, threat.AffectedObject{ID: e.ID(), Class: e.Class(), Staleness: st})
+}
+
+// ContextObject implements constraint.Context.
+func (ctx *valContext) ContextObject() *object.Entity { return ctx.contextObj }
+
+// CalledObject implements constraint.Context.
+func (ctx *valContext) CalledObject() *object.Entity { return ctx.called }
+
+// Method implements constraint.Context.
+func (ctx *valContext) Method() string { return ctx.method }
+
+// Args implements constraint.Context.
+func (ctx *valContext) Args() []any { return ctx.args }
+
+// Result implements constraint.Context.
+func (ctx *valContext) Result() any { return ctx.result }
+
+// PreState implements constraint.Context.
+func (ctx *valContext) PreState() map[string]any { return ctx.pre }
+
+// PartitionWeight implements constraint.Context (§5.5.2).
+func (ctx *valContext) PartitionWeight() float64 { return ctx.ccm.partitionWeight() }
+
+// Lookup implements constraint.Context: it resolves the object through the
+// replication manager, records the access, and converts unreachability into
+// ErrUncheckable.
+func (ctx *valContext) Lookup(id object.ID) (*object.Entity, error) {
+	e, st, err := ctx.ccm.lookup(id)
+	if err != nil {
+		ctx.unreachable = true
+		if _, ok := ctx.seen[id]; !ok {
+			ctx.seen[id] = struct{}{}
+			ctx.accessed = append(ctx.accessed, threat.AffectedObject{ID: id})
+		}
+		return nil, fmt.Errorf("%w: object %s: %w", constraint.ErrUncheckable, id, err)
+	}
+	if _, ok := ctx.seen[id]; !ok {
+		ctx.seen[id] = struct{}{}
+		ctx.accessed = append(ctx.accessed, threat.AffectedObject{ID: id, Class: e.Class(), Staleness: st})
+	}
+	return e, nil
+}
+
+// Query implements constraint.Context: it returns the local entities of a
+// class, recording each access.
+func (ctx *valContext) Query(class string) ([]*object.Entity, error) {
+	entities := ctx.ccm.registry.OfClass(class)
+	for _, e := range entities {
+		ctx.recordLocal(e)
+	}
+	return entities, nil
+}
+
+// anyStale reports whether a recorded access was possibly stale.
+func (ctx *valContext) anyStale() bool {
+	for _, a := range ctx.accessed {
+		if a.Staleness.PossiblyStale {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,301 @@
+// Package core implements the dissertation's primary contribution: the
+// constraint consistency manager (CCMgr, §4.2.3). The CCMgr is notified by
+// the invocation service before and after method invocations, looks up
+// affected constraints in the runtime repository, triggers validation while
+// gathering the accessed objects, consults the replication manager about
+// staleness, detects and negotiates consistency threats (Figure 4.4),
+// participates in the two-phase commit for soft constraints, and
+// re-evaluates accepted threats during the reconciliation phase (§4.4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/group"
+	"dedisys/internal/object"
+	"dedisys/internal/replication"
+	"dedisys/internal/repository"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+	"dedisys/internal/tx"
+)
+
+// Message kinds used between constraint consistency managers.
+const (
+	msgThreatAdd    = "ccm.threat.add"
+	msgThreatRemove = "ccm.threat.remove"
+	msgThreatPull   = "ccm.threat.pull"
+)
+
+// Transaction-scoped payload keys.
+const (
+	keyNegHandler = "ccm.negotiation-handler"
+	keyPending    = "ccm.pending-invariants"
+)
+
+// Sentinel errors of the constraint consistency manager.
+var (
+	// ErrConstraintViolated reports a reliable constraint violation; the
+	// surrounding transaction is marked rollback-only.
+	ErrConstraintViolated = errors.New("core: constraint violated")
+	// ErrThreatRejected reports a consistency threat that negotiation did
+	// not accept; the surrounding transaction is marked rollback-only.
+	ErrThreatRejected = errors.New("core: consistency threat rejected")
+	// ErrNoTransaction reports a constrained invocation outside a
+	// transaction.
+	ErrNoTransaction = errors.New("core: invocation without transaction")
+)
+
+// ViolationError carries the violated constraint's name.
+type ViolationError struct {
+	Constraint string
+	Method     string
+}
+
+// Error implements error.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("constraint %s violated by %s", e.Constraint, e.Method)
+}
+
+// Unwrap makes the error match ErrConstraintViolated.
+func (e *ViolationError) Unwrap() error { return ErrConstraintViolated }
+
+// ThreatRejectedError carries the rejected threat's details.
+type ThreatRejectedError struct {
+	Constraint string
+	Degree     constraint.Degree
+}
+
+// Error implements error.
+func (e *ThreatRejectedError) Error() string {
+	return fmt.Sprintf("consistency threat on %s (%s) rejected", e.Constraint, e.Degree)
+}
+
+// Unwrap makes the error match ErrThreatRejected.
+func (e *ThreatRejectedError) Unwrap() error { return ErrThreatRejected }
+
+// Mode is a node's major system state (Figure 1.4).
+type Mode int
+
+// System modes.
+const (
+	Healthy Mode = iota + 1
+	Degraded
+	Reconciling
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Reconciling:
+		return "reconciling"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Stats counts CCMgr activity for the evaluation chapters.
+type Stats struct {
+	Validations      int64
+	Violations       int64
+	ThreatsDetected  int64
+	ThreatsAccepted  int64
+	ThreatsRejected  int64
+	AsyncShortcuts   int64 // async constraints skipped in degraded mode
+	IntraObjectSaves int64 // threats avoided by the intra-object rule
+}
+
+// Config assembles a CCMgr's dependencies.
+type Config struct {
+	Self     transport.NodeID
+	Net      *transport.Network
+	GMS      *group.Membership
+	Registry *object.Registry
+	Repl     *replication.Manager
+	Repo     *repository.Repository
+	Threats  *threat.Store
+	// DefaultMinDegree is the application-wide minimum satisfaction degree
+	// used when a constraint's metadata does not configure one (§3.2.1).
+	DefaultMinDegree constraint.Degree
+	// ReplicateThreats propagates accepted threats to partition members
+	// (threat data is replicated too, §5.1). Disable for single-node setups.
+	ReplicateThreats bool
+}
+
+// Manager is the constraint consistency manager.
+type Manager struct {
+	self             transport.NodeID
+	net              *transport.Network
+	gms              *group.Membership
+	registry         *object.Registry
+	repl             *replication.Manager
+	repo             *repository.Repository
+	threats          *threat.Store
+	comm             *group.Comm
+	defaultMinDegree constraint.Degree
+	replicateThreats bool
+
+	reconciling atomic.Bool
+
+	mu                    sync.Mutex
+	reconciliationHandler ReconciliationHandler
+	conflictNotifier      ConflictNotifier
+	disableViolated       bool
+	replicaConflicts      map[object.ID]struct{}
+
+	validations      atomic.Int64
+	violations       atomic.Int64
+	threatsDetected  atomic.Int64
+	threatsAccepted  atomic.Int64
+	threatsRejected  atomic.Int64
+	asyncShortcuts   atomic.Int64
+	intraObjectSaves atomic.Int64
+}
+
+var _ tx.Resource = (*Manager)(nil)
+
+// New creates a CCMgr and registers its network handlers.
+func New(cfg Config) (*Manager, error) {
+	m := &Manager{
+		self:             cfg.Self,
+		net:              cfg.Net,
+		gms:              cfg.GMS,
+		registry:         cfg.Registry,
+		repl:             cfg.Repl,
+		repo:             cfg.Repo,
+		threats:          cfg.Threats,
+		defaultMinDegree: cfg.DefaultMinDegree,
+		replicateThreats: cfg.ReplicateThreats,
+		replicaConflicts: make(map[object.ID]struct{}),
+	}
+	if cfg.Net != nil {
+		m.comm = group.NewComm(cfg.Net)
+		if err := cfg.Net.Handle(cfg.Self, msgThreatAdd, m.handleThreatAdd); err != nil {
+			return nil, fmt.Errorf("core: register threat handler: %w", err)
+		}
+		if err := cfg.Net.Handle(cfg.Self, msgThreatRemove, m.handleThreatRemove); err != nil {
+			return nil, fmt.Errorf("core: register threat removal handler: %w", err)
+		}
+		if err := cfg.Net.Handle(cfg.Self, msgThreatPull, m.handleThreatPull); err != nil {
+			return nil, fmt.Errorf("core: register threat pull handler: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Repository returns the constraint repository.
+func (m *Manager) Repository() *repository.Repository { return m.repo }
+
+// Threats returns the threat store.
+func (m *Manager) Threats() *threat.Store { return m.threats }
+
+// Mode returns this node's current major system state.
+func (m *Manager) Mode() Mode {
+	if m.reconciling.Load() {
+		return Reconciling
+	}
+	if m.gms != nil && m.gms.Degraded(m.self) {
+		return Degraded
+	}
+	return Healthy
+}
+
+// Stats returns a snapshot of the CCMgr's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Validations:      m.validations.Load(),
+		Violations:       m.violations.Load(),
+		ThreatsDetected:  m.threatsDetected.Load(),
+		ThreatsAccepted:  m.threatsAccepted.Load(),
+		ThreatsRejected:  m.threatsRejected.Load(),
+		AsyncShortcuts:   m.asyncShortcuts.Load(),
+		IntraObjectSaves: m.intraObjectSaves.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (m *Manager) ResetStats() {
+	m.validations.Store(0)
+	m.violations.Store(0)
+	m.threatsDetected.Store(0)
+	m.threatsAccepted.Store(0)
+	m.threatsRejected.Store(0)
+	m.asyncShortcuts.Store(0)
+	m.intraObjectSaves.Store(0)
+}
+
+// RegisterNegotiationHandler binds a dynamic negotiation handler to the
+// transaction (§3.2.1): it is consulted for every threat the transaction
+// produces, in preference to the static declarative configuration.
+func (m *Manager) RegisterNegotiationHandler(t *tx.Tx, h threat.Handler) {
+	t.Put(keyNegHandler, h)
+}
+
+// handleThreatAdd stores a threat replicated from a partition peer.
+func (m *Manager) handleThreatAdd(from transport.NodeID, payload any) (any, error) {
+	th, ok := payload.(threat.Threat)
+	if !ok {
+		return nil, fmt.Errorf("core: bad threat payload %T", payload)
+	}
+	th.Seq = 0 // local store assigns its own sequence
+	if _, _, err := m.threats.Add(th); err != nil {
+		return nil, err
+	}
+	return "ack", nil
+}
+
+// handleThreatPull exports this node's stored threats to a reconciling peer.
+func (m *Manager) handleThreatPull(from transport.NodeID, payload any) (any, error) {
+	return m.threats.All(), nil
+}
+
+// handleThreatRemove drops a threat identity removed by a reconciling peer.
+func (m *Manager) handleThreatRemove(from transport.NodeID, payload any) (any, error) {
+	ident, ok := payload.(string)
+	if !ok {
+		return nil, fmt.Errorf("core: bad threat removal payload %T", payload)
+	}
+	m.threats.RemoveIdentity(ident)
+	return "ack", nil
+}
+
+// removeIdentityEverywhere removes a threat identity locally and on all
+// reachable view members, keeping the replicated threat stores convergent.
+func (m *Manager) removeIdentityEverywhere(ident string) {
+	m.threats.RemoveIdentity(ident)
+	if m.comm == nil || m.gms == nil {
+		return
+	}
+	for _, res := range m.comm.Multicast(m.self, m.gms.ViewOf(m.self).Members, msgThreatRemove, ident) {
+		_ = res // unreachable members converge at their next reconciliation
+	}
+}
+
+// lookup resolves an object through the replication manager, which reports
+// staleness; without replication it falls back to the local registry.
+func (m *Manager) lookup(id object.ID) (*object.Entity, constraint.Staleness, error) {
+	if m.repl != nil {
+		return m.repl.Lookup(id)
+	}
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return nil, constraint.Staleness{}, err
+	}
+	return e, constraint.Staleness{Version: e.Version(), EstimatedLatest: e.Version()}, nil
+}
+
+// partitionWeight returns the current partition's weight fraction.
+func (m *Manager) partitionWeight() float64 {
+	if m.gms == nil {
+		return 1
+	}
+	return m.gms.PartitionWeight(m.self)
+}

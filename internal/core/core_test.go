@@ -1,0 +1,427 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/group"
+	"dedisys/internal/invocation"
+	"dedisys/internal/object"
+	"dedisys/internal/persistence"
+	"dedisys/internal/replication"
+	"dedisys/internal/repository"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+	"dedisys/internal/tx"
+)
+
+// localEnv is a single-node CCMgr without network or replication, testing
+// the pure constraint-consistency logic.
+type localEnv struct {
+	reg  *object.Registry
+	repo *repository.Repository
+	ths  *threat.Store
+	txm  *tx.Manager
+	ccm  *Manager
+}
+
+func newLocalEnv(t *testing.T) *localEnv {
+	t.Helper()
+	env := &localEnv{
+		reg:  object.NewRegistry(),
+		repo: repository.New(repository.WithCache()),
+		txm:  tx.NewManager(),
+	}
+	env.ths = threat.NewStore(persistence.NewStore(), threat.IdenticalOnce)
+	ccm, err := New(Config{
+		Self:     "n1",
+		Registry: env.reg,
+		Repo:     env.repo,
+		Threats:  env.ths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ccm = ccm
+	env.txm.RegisterResource(ccm)
+	return env
+}
+
+func (e *localEnv) registerHard(t *testing.T, name string, impl constraint.Constraint) {
+	t.Helper()
+	meta := constraint.Meta{
+		Name: name, Type: constraint.HardInvariant,
+		Priority: constraint.Tradeable, MinDegree: constraint.Uncheckable,
+		NeedsContext: true, ContextClass: "Flight",
+		Affected: []constraint.AffectedMethod{
+			{Class: "Flight", Method: "SetSold", Prep: constraint.CalledObjectIsContext{}},
+		},
+	}
+	if err := e.repo.Register(meta, impl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (e *localEnv) invoke(t *testing.T, target object.ID, method string, args ...any) error {
+	t.Helper()
+	txn := e.txm.Begin()
+	inv := &invocation.Invocation{
+		Node: "n1", Target: target, Class: "Flight", Method: method,
+		Kind: object.Write, Args: args, Tx: txn,
+	}
+	chain := invocation.NewChain(func(inv *invocation.Invocation) (any, error) {
+		ent, err := e.reg.Get(inv.Target)
+		if err != nil {
+			return nil, err
+		}
+		if inv.Method == "SetSold" {
+			txn.RecordUpdate(ent)
+			ent.Set("sold", inv.Args[0])
+		}
+		return nil, nil
+	}, e.ccm.Interceptor())
+	if _, err := chain.Dispatch(inv); err != nil {
+		_ = txn.Rollback()
+		return err
+	}
+	return txn.Commit()
+}
+
+func TestModeWithoutGMSIsHealthy(t *testing.T) {
+	env := newLocalEnv(t)
+	if env.ccm.Mode() != Healthy {
+		t.Fatalf("mode = %v", env.ccm.Mode())
+	}
+}
+
+func TestHardInvariantViolationLocal(t *testing.T) {
+	env := newLocalEnv(t)
+	env.registerHard(t, "C1", constraint.Func(func(ctx constraint.Context) (bool, error) {
+		return ctx.ContextObject().GetInt("sold") <= 10, nil
+	}))
+	if err := env.reg.Add(object.New("Flight", "f1", object.State{"sold": int64(5)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.invoke(t, "f1", "SetSold", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	err := env.invoke(t, "f1", "SetSold", int64(11))
+	var verr *ViolationError
+	if !errors.As(err, &verr) || verr.Constraint != "C1" {
+		t.Fatalf("err = %v", err)
+	}
+	if !IsViolation(err) || IsThreatRejected(err) {
+		t.Fatal("error classification wrong")
+	}
+	e, _ := env.reg.Get("f1")
+	if e.GetInt("sold") != 9 {
+		t.Fatalf("sold = %d", e.GetInt("sold"))
+	}
+}
+
+func TestUncheckableValidationErrorLocal(t *testing.T) {
+	env := newLocalEnv(t)
+	env.registerHard(t, "C1", constraint.Func(func(ctx constraint.Context) (bool, error) {
+		return false, fmt.Errorf("%w: object gone", constraint.ErrUncheckable)
+	}))
+	if err := env.reg.Add(object.New("Flight", "f1", object.State{"sold": int64(0)})); err != nil {
+		t.Fatal(err)
+	}
+	// Uncheckable is a threat; min degree Uncheckable accepts it.
+	if err := env.invoke(t, "f1", "SetSold", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	ths := env.ths.All()
+	if len(ths) != 1 || ths[0].Degree != constraint.Uncheckable {
+		t.Fatalf("threats = %+v", ths)
+	}
+}
+
+func TestInvocationWithoutTransaction(t *testing.T) {
+	env := newLocalEnv(t)
+	env.registerHard(t, "C1", constraint.Func(func(ctx constraint.Context) (bool, error) { return true, nil }))
+	if err := env.reg.Add(object.New("Flight", "f1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	inv := &invocation.Invocation{Node: "n1", Target: "f1", Class: "Flight", Method: "SetSold", Args: []any{int64(1)}}
+	chain := invocation.NewChain(func(inv *invocation.Invocation) (any, error) { return nil, nil }, env.ccm.Interceptor())
+	if _, err := chain.Dispatch(inv); !errors.Is(err, ErrNoTransaction) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueryBasedConstraint(t *testing.T) {
+	env := newLocalEnv(t)
+	// A query-based invariant: at most 2 flights may exist in total.
+	meta := constraint.Meta{
+		Name: "MaxFlights", Type: constraint.HardInvariant,
+		Priority: constraint.Tradeable, MinDegree: constraint.Uncheckable,
+		NeedsContext: false,
+		Affected: []constraint.AffectedMethod{
+			{Class: "Flight", Method: "SetSold", Prep: constraint.CalledObjectIsContext{}},
+		},
+	}
+	err := env.repo.Register(meta, constraint.Func(func(ctx constraint.Context) (bool, error) {
+		flights, err := ctx.Query("Flight")
+		if err != nil {
+			return false, err
+		}
+		return len(flights) <= 2, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []object.ID{"f1", "f2"} {
+		if err := env.reg.Add(object.New("Flight", id, object.State{"sold": int64(0)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := env.invoke(t, "f1", "SetSold", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.reg.Add(object.New("Flight", "f3", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.invoke(t, "f1", "SetSold", int64(2)); !IsViolation(err) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	env := newLocalEnv(t)
+	env.registerHard(t, "C1", constraint.Func(func(ctx constraint.Context) (bool, error) { return true, nil }))
+	if err := env.reg.Add(object.New("Flight", "f1", object.State{"sold": int64(0)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.invoke(t, "f1", "SetSold", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	st := env.ccm.Stats()
+	if st.Validations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	env.ccm.ResetStats()
+	if st := env.ccm.Stats(); st.Validations != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Healthy.String() != "healthy" || Degraded.String() != "degraded" || Reconciling.String() != "reconciling" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode string empty")
+	}
+}
+
+// replEnv is a two-node environment with replication for staleness paths.
+type replEnv struct {
+	net  *transport.Network
+	gms  *group.Membership
+	reg  *object.Registry
+	repo *repository.Repository
+	ths  *threat.Store
+	txm  *tx.Manager
+	repl *replication.Manager
+	ccm  *Manager
+}
+
+func newReplEnv(t *testing.T) *replEnv {
+	t.Helper()
+	net := transport.NewNetwork()
+	for _, id := range []transport.NodeID{"n1", "n2"} {
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gms := group.NewMembership(net)
+	env := &replEnv{
+		net:  net,
+		gms:  gms,
+		reg:  object.NewRegistry(),
+		repo: repository.New(repository.WithCache()),
+		txm:  tx.NewManager(),
+	}
+	store := persistence.NewStore()
+	env.ths = threat.NewStore(store, threat.IdenticalOnce)
+	repl, err := replication.NewManager(replication.Config{
+		Self: "n1", Net: net, GMS: gms, Registry: env.reg, Store: store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.repl = repl
+	ccm, err := New(Config{
+		Self: "n1", Net: net, GMS: gms, Registry: env.reg,
+		Repl: repl, Repo: env.repo, Threats: env.ths,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ccm = ccm
+	env.txm.RegisterResource(repl)
+	env.txm.RegisterResource(ccm)
+
+	// Register remote handlers for n2 so multicasts succeed.
+	reg2 := object.NewRegistry()
+	if _, err := replication.NewManager(replication.Config{
+		Self: "n2", Net: net, GMS: gms, Registry: reg2, Store: persistence.NewStore(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ths2 := threat.NewStore(persistence.NewStore(), threat.IdenticalOnce)
+	if _, err := New(Config{
+		Self: "n2", Net: net, GMS: gms, Registry: reg2,
+		Repo: repository.New(), Threats: ths2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func (e *replEnv) createFlight(t *testing.T, id object.ID, sold, seats int64) {
+	t.Helper()
+	txn := e.txm.Begin()
+	ent := object.New("Flight", id, object.State{"sold": sold, "seats": seats})
+	if err := e.repl.Create(txn, ent, replication.Info{Home: "n1", Replicas: []transport.NodeID{"n1", "n2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraObjectScopeKeepsReliableResult(t *testing.T) {
+	env := newReplEnv(t)
+	env.createFlight(t, "f1", 0, 10)
+	meta := constraint.Meta{
+		Name: "IntraC", Type: constraint.HardInvariant,
+		Priority: constraint.Tradeable, MinDegree: constraint.Satisfied,
+		Scope:        constraint.IntraObject,
+		NeedsContext: true, ContextClass: "Flight",
+		Affected: []constraint.AffectedMethod{
+			{Class: "Flight", Method: "SetSold", Prep: constraint.CalledObjectIsContext{}},
+		},
+	}
+	if err := env.repo.Register(meta, constraint.Func(func(ctx constraint.Context) (bool, error) {
+		return ctx.ContextObject().GetInt("sold") <= ctx.ContextObject().GetInt("seats"), nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	env.net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+
+	// Degraded mode, stale object — but an intra-object constraint keeps
+	// its reliable Satisfied result (min degree Satisfied would reject a
+	// possibly-satisfied threat).
+	txn := env.txm.Begin()
+	ent, _ := env.reg.Get("f1")
+	inv := &invocation.Invocation{Node: "n1", Target: "f1", Class: "Flight", Method: "SetSold", Kind: object.Write, Args: []any{int64(5)}, Tx: txn}
+	chain := invocation.NewChain(func(inv *invocation.Invocation) (any, error) {
+		txn.RecordUpdate(ent)
+		ent.Set("sold", inv.Args[0])
+		env.repl.MarkDirty(txn, "f1")
+		return nil, nil
+	}, env.ccm.Interceptor())
+	if _, err := chain.Dispatch(inv); err != nil {
+		t.Fatalf("intra-object constraint raised a threat: %v", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st := env.ccm.Stats()
+	if st.IntraObjectSaves != 1 || st.ThreatsDetected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// And a violated intra-object constraint aborts reliably even degraded.
+	txn2 := env.txm.Begin()
+	inv2 := &invocation.Invocation{Node: "n1", Target: "f1", Class: "Flight", Method: "SetSold", Kind: object.Write, Args: []any{int64(50)}, Tx: txn2}
+	chain2 := invocation.NewChain(func(inv *invocation.Invocation) (any, error) {
+		txn2.RecordUpdate(ent)
+		ent.Set("sold", inv.Args[0])
+		return nil, nil
+	}, env.ccm.Interceptor())
+	if _, err := chain2.Dispatch(inv2); !IsViolation(err) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = txn2.Rollback()
+}
+
+func TestPartitionWeightInContext(t *testing.T) {
+	env := newReplEnv(t)
+	env.createFlight(t, "f1", 0, 10)
+	var seenWeight float64
+	meta := constraint.Meta{
+		Name: "WeightC", Type: constraint.HardInvariant,
+		Priority: constraint.Tradeable, MinDegree: constraint.Uncheckable,
+		NeedsContext: true, ContextClass: "Flight",
+		Affected: []constraint.AffectedMethod{
+			{Class: "Flight", Method: "SetSold", Prep: constraint.CalledObjectIsContext{}},
+		},
+	}
+	if err := env.repo.Register(meta, constraint.Func(func(ctx constraint.Context) (bool, error) {
+		seenWeight = ctx.PartitionWeight()
+		return true, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	env.net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+	txn := env.txm.Begin()
+	ent, _ := env.reg.Get("f1")
+	inv := &invocation.Invocation{Node: "n1", Target: "f1", Class: "Flight", Method: "SetSold", Kind: object.Write, Args: []any{int64(1)}, Tx: txn}
+	chain := invocation.NewChain(func(inv *invocation.Invocation) (any, error) {
+		txn.RecordUpdate(ent)
+		ent.Set("sold", inv.Args[0])
+		return nil, nil
+	}, env.ccm.Interceptor())
+	if _, err := chain.Dispatch(inv); err != nil {
+		t.Fatal(err)
+	}
+	_ = txn.Commit()
+	if seenWeight != 0.5 {
+		t.Fatalf("partition weight = %f", seenWeight)
+	}
+}
+
+func TestHandleThreatAddBadPayload(t *testing.T) {
+	env := newReplEnv(t)
+	if _, err := env.net.Send("n2", "n1", "ccm.threat.add", "not a threat"); err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	th := threat.Threat{Constraint: "C1", ContextID: "f1", Degree: constraint.PossiblySatisfied}
+	if _, err := env.net.Send("n2", "n1", "ccm.threat.add", th); err != nil {
+		t.Fatal(err)
+	}
+	if env.ths.Len() != 1 {
+		t.Fatalf("threats = %d", env.ths.Len())
+	}
+}
+
+func TestReconcileThreatsDropsUnknownConstraint(t *testing.T) {
+	env := newLocalEnv(t)
+	_, _, err := env.ths.Add(threat.Threat{Constraint: "Ghost", ContextID: "f1", Degree: constraint.Uncheckable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := env.ccm.ReconcileThreats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Removed != 1 || env.ths.Len() != 0 {
+		t.Fatalf("report = %+v, len = %d", report, env.ths.Len())
+	}
+}
+
+func TestErrorTypes(t *testing.T) {
+	v := &ViolationError{Constraint: "C", Method: "M"}
+	if v.Error() == "" || !errors.Is(v, ErrConstraintViolated) {
+		t.Fatal("ViolationError wrong")
+	}
+	r := &ThreatRejectedError{Constraint: "C", Degree: constraint.Uncheckable}
+	if r.Error() == "" || !errors.Is(r, ErrThreatRejected) {
+		t.Fatal("ThreatRejectedError wrong")
+	}
+}

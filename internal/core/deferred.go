@@ -1,0 +1,94 @@
+package core
+
+import (
+	"dedisys/internal/constraint"
+	"dedisys/internal/repository"
+	"dedisys/internal/threat"
+	"dedisys/internal/tx"
+)
+
+// Deferred (parallel) negotiation — the §5.4 design alternative for
+// longer-lasting transactions: instead of blocking the business operation at
+// every consistency threat, negotiation runs concurrently "while the
+// transaction continues with the assumption that all threats will be
+// accepted. Of course, the transaction has to block before commit until the
+// decisions for all occurred threats are available."
+
+// Transaction-scoped keys of the deferred mechanism.
+const (
+	keyDeferredNeg = "ccm.deferred-negotiation"
+	keyPendingNeg  = "ccm.pending-negotiations"
+)
+
+// pendingNegotiation is one in-flight negotiation decision.
+type pendingNegotiation struct {
+	reg      *repository.Registered
+	nc       *threat.NegotiationContext
+	th       threat.Threat
+	decision chan threat.Decision
+}
+
+// RegisterDeferredNegotiationHandler binds a dynamic negotiation handler
+// whose decisions are computed in parallel with the transaction (§5.4).
+// Threats no longer abort the operation where they occur; the commit blocks
+// until every decision arrived and rolls back if any threat was rejected.
+func (m *Manager) RegisterDeferredNegotiationHandler(t *tx.Tx, h threat.Handler) {
+	t.Put(keyNegHandler, h)
+	t.Put(keyDeferredNeg, true)
+}
+
+// deferNegotiation starts the handler on its own goroutine and records the
+// pending decision with the transaction. It returns true when the threat
+// was deferred (the operation continues optimistically).
+func (m *Manager) deferNegotiation(t *tx.Tx, reg *repository.Registered, nc *threat.NegotiationContext, th threat.Threat) bool {
+	deferred, _ := t.Value(keyDeferredNeg).(bool)
+	if !deferred {
+		return false
+	}
+	handler, _ := t.Value(keyNegHandler).(threat.Handler)
+	if handler == nil || nc.Constraint.Priority == constraint.NonTradeable {
+		// Nothing to run concurrently (static negotiation is instantaneous)
+		// or auto-reject applies: fall back to immediate negotiation.
+		return false
+	}
+	ch := make(chan threat.Decision, 1)
+	go func() { ch <- handler(nc) }()
+	var pending []pendingNegotiation
+	if v, ok := t.Value(keyPendingNeg).([]pendingNegotiation); ok {
+		pending = v
+	}
+	t.Put(keyPendingNeg, append(pending, pendingNegotiation{reg: reg, nc: nc, th: th, decision: ch}))
+	return true
+}
+
+// awaitDeferredNegotiations blocks until all parallel decisions arrived
+// (called from Prepare). A single rejection vetoes the commit; accepted
+// invariant threats are stored for reconciliation.
+func (m *Manager) awaitDeferredNegotiations(t *tx.Tx) error {
+	pending, _ := t.Value(keyPendingNeg).([]pendingNegotiation)
+	if len(pending) == 0 {
+		return nil
+	}
+	t.Put(keyPendingNeg, nil)
+	for _, p := range pending {
+		decision := <-p.decision
+		if decision != threat.Accept {
+			m.threatsRejected.Add(1)
+			err := &ThreatRejectedError{Constraint: p.reg.Meta.Name, Degree: p.th.Degree}
+			t.SetRollbackOnly(err)
+			return err
+		}
+		m.threatsAccepted.Add(1)
+		switch p.reg.Meta.Type {
+		case constraint.Pre, constraint.Post:
+			// Not re-evaluable during reconciliation; nothing to store.
+		default:
+			// The handler may have attached application data to the threat.
+			p.th.AppData = p.nc.AppData
+			if err := m.storeThreat(t, p.th); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/invocation"
+	"dedisys/internal/object"
+	"dedisys/internal/repository"
+	"dedisys/internal/threat"
+	"dedisys/internal/tx"
+)
+
+// invocation payload key for postcondition contexts kept across the call.
+const keyPostContexts = "ccm.post-contexts"
+
+// Interceptor returns the CCMgr's invocation interceptor (§4.2.4): it checks
+// preconditions before the call, runs postcondition @pre hooks, and checks
+// postconditions and hard invariants after the call. Soft and asynchronous
+// invariants are deferred to the transaction's prepare phase.
+func (m *Manager) Interceptor() invocation.Interceptor {
+	return invocation.Func{ID: "constraint-consistency", Fn: func(inv *invocation.Invocation, next invocation.Next) (any, error) {
+		if err := m.beforeInvocation(inv); err != nil {
+			return nil, err
+		}
+		res, err := next(inv)
+		if err != nil {
+			return nil, err
+		}
+		inv.Result = res
+		if err := m.afterInvocation(inv); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}}
+}
+
+func (m *Manager) beforeInvocation(inv *invocation.Invocation) error {
+	if inv.Tx == nil {
+		return ErrNoTransaction
+	}
+	called, err := m.registry.Get(inv.Target)
+	if err != nil {
+		return fmt.Errorf("core: before %s: %w", inv, err)
+	}
+
+	// Preconditions are bound to and checked before the method (§1.6).
+	for _, reg := range m.repo.LookupAffected(inv.Class, inv.Method, constraint.Pre) {
+		ctx := m.newContext(nil, called, inv.Method, inv.Args, nil)
+		if err := m.validateOne(inv.Tx, reg, ctx, inv.Method); err != nil {
+			return err
+		}
+	}
+
+	// Postconditions capture state before the invocation (Figure 4.3's
+	// beforeMethodInvocation, the OCL @pre operator).
+	posts := m.repo.LookupAffected(inv.Class, inv.Method, constraint.Post)
+	if len(posts) > 0 {
+		ctxs := make(map[string]*valContext, len(posts))
+		for _, reg := range posts {
+			ctx := m.newContext(nil, called, inv.Method, inv.Args, nil)
+			if bv, ok := reg.Impl.(constraint.BeforeValidator); ok {
+				bv.BeforeInvocation(ctx)
+			}
+			ctxs[reg.Meta.Name] = ctx
+		}
+		inv.Put(keyPostContexts, ctxs)
+	}
+	return nil
+}
+
+func (m *Manager) afterInvocation(inv *invocation.Invocation) error {
+	if inv.Tx == nil {
+		return ErrNoTransaction
+	}
+	called, err := m.registry.Get(inv.Target)
+	if err != nil {
+		return fmt.Errorf("core: after %s: %w", inv, err)
+	}
+
+	// Postconditions, re-using the contexts created before the call.
+	ctxs, _ := inv.Value(keyPostContexts).(map[string]*valContext)
+	for _, reg := range m.repo.LookupAffected(inv.Class, inv.Method, constraint.Post) {
+		ctx := ctxs[reg.Meta.Name]
+		if ctx == nil {
+			ctx = m.newContext(nil, called, inv.Method, inv.Args, inv.Result)
+		} else {
+			ctx.result = inv.Result
+		}
+		if err := m.validateOne(inv.Tx, reg, ctx, inv.Method); err != nil {
+			return err
+		}
+	}
+
+	// Hard invariants are checked at the end of the operation (§1.6).
+	for _, reg := range m.repo.LookupAffected(inv.Class, inv.Method, constraint.HardInvariant) {
+		ctx, err := m.invariantContext(reg, called, inv.Method, inv.Args)
+		if err != nil {
+			return err
+		}
+		if err := m.validateOne(inv.Tx, reg, ctx, inv.Method); err != nil {
+			return err
+		}
+	}
+
+	// Soft and asynchronous invariants are deferred to commit (§1.6, §5.5.3).
+	for _, ctype := range [...]constraint.Type{constraint.SoftInvariant, constraint.AsyncInvariant} {
+		for _, reg := range m.repo.LookupAffected(inv.Class, inv.Method, ctype) {
+			if err := m.deferInvariant(inv.Tx, reg, called); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// invariantContext resolves the context object via the constraint's
+// preparation strategy and builds the validation context.
+func (m *Manager) invariantContext(reg *repository.Registered, called *object.Entity, method string, args []any) (*valContext, error) {
+	var ctxObj *object.Entity
+	if reg.Meta.NeedsContext {
+		prep := prepFor(reg, called.Class(), method)
+		if prep == nil {
+			return nil, fmt.Errorf("core: constraint %s: no context preparation for %s.%s", reg.Meta.Name, called.Class(), method)
+		}
+		obj, err := prep.ContextObject(called, func(id object.ID) (*object.Entity, error) {
+			e, _, err := m.lookup(id)
+			return e, err
+		})
+		if err != nil {
+			// An unreachable context object makes the constraint uncheckable.
+			ctxObj = nil
+		} else {
+			ctxObj = obj
+		}
+	}
+	ctx := m.newContext(ctxObj, called, method, args, nil)
+	if reg.Meta.NeedsContext && ctxObj == nil {
+		ctx.unreachable = true
+	}
+	return ctx, nil
+}
+
+func prepFor(reg *repository.Registered, class, method string) constraint.ContextPreparer {
+	for _, am := range reg.Meta.Affected {
+		if am.Class == class && am.Method == method {
+			return am.Prep
+		}
+	}
+	// Fallback: the called object is the context object.
+	if reg.Meta.ContextClass == class {
+		return constraint.CalledObjectIsContext{}
+	}
+	return nil
+}
+
+// pendingInvariant is a soft/async invariant validation deferred to commit.
+type pendingInvariant struct {
+	name      string
+	contextID object.ID
+	calledID  object.ID
+}
+
+func (m *Manager) deferInvariant(t *tx.Tx, reg *repository.Registered, called *object.Entity) error {
+	contextID := object.ID("")
+	if reg.Meta.NeedsContext {
+		var prep constraint.ContextPreparer
+		for _, am := range reg.Meta.Affected {
+			if am.Class == called.Class() {
+				prep = am.Prep
+				break
+			}
+		}
+		if prep != nil {
+			if obj, err := prep.ContextObject(called, func(id object.ID) (*object.Entity, error) {
+				e, _, err := m.lookup(id)
+				return e, err
+			}); err == nil && obj != nil {
+				contextID = obj.ID()
+			} else {
+				contextID = called.ID()
+			}
+		} else {
+			contextID = called.ID()
+		}
+	}
+	var pending []pendingInvariant
+	if v, ok := t.Value(keyPending).([]pendingInvariant); ok {
+		pending = v
+	}
+	for _, p := range pending {
+		if p.name == reg.Meta.Name && p.contextID == contextID {
+			return nil // deduplicate per transaction
+		}
+	}
+	pending = append(pending, pendingInvariant{name: reg.Meta.Name, contextID: contextID, calledID: called.ID()})
+	t.Put(keyPending, pending)
+	return nil
+}
+
+// Prepare implements tx.Resource: soft constraints are checked at the end of
+// the transaction (§1.6); asynchronous constraints short-circuit to stored
+// threats in degraded mode (§5.5.3).
+func (m *Manager) Prepare(t *tx.Tx) error {
+	pending, _ := t.Value(keyPending).([]pendingInvariant)
+	degraded := m.Mode() != Healthy
+	for _, p := range pending {
+		reg, err := m.repo.Get(p.name)
+		if err != nil {
+			return fmt.Errorf("core: prepare: %w", err)
+		}
+		if reg.Meta.Type == constraint.AsyncInvariant && degraded {
+			// Skip validation and negotiation entirely: store the threat for
+			// reconciliation-time evaluation.
+			m.asyncShortcuts.Add(1)
+			th := threat.Threat{
+				Constraint:   reg.Meta.Name,
+				ContextID:    p.contextID,
+				Degree:       constraint.Uncheckable,
+				Instructions: reg.Meta.Instructions,
+				TxID:         t.ID(),
+			}
+			if err := m.storeThreat(t, th); err != nil {
+				return err
+			}
+			continue
+		}
+		var ctxObj *object.Entity
+		unreachable := false
+		if reg.Meta.NeedsContext {
+			e, _, err := m.lookup(p.contextID)
+			if err != nil {
+				unreachable = true
+			} else {
+				ctxObj = e
+			}
+		}
+		ctx := m.newContext(ctxObj, nil, "", nil, nil)
+		ctx.unreachable = unreachable
+		if err := m.validateOne(t, reg, ctx, "commit"); err != nil {
+			return err
+		}
+	}
+	// Block before commit until all parallel negotiation decisions arrived
+	// (§5.4 deferred negotiation).
+	return m.awaitDeferredNegotiations(t)
+}
+
+// Commit implements tx.Resource: accepted threats collected during the
+// transaction are replicated to the partition members (§5.1: threat data is
+// replicated too).
+func (m *Manager) Commit(t *tx.Tx) error {
+	if !m.replicateThreats || m.comm == nil {
+		return nil
+	}
+	accepted, _ := t.Value("ccm.accepted-threats").([]threat.Threat)
+	if len(accepted) == 0 {
+		return nil
+	}
+	members := m.gms.ViewOf(m.self).Members
+	for _, th := range accepted {
+		for _, res := range m.comm.Multicast(m.self, members, msgThreatAdd, th) {
+			_ = res // peers out of reach replicate during reconciliation
+		}
+	}
+	return nil
+}
+
+// Rollback implements tx.Resource; threat undo is recorded per store.
+func (m *Manager) Rollback(t *tx.Tx) error { return nil }
+
+// validateOne triggers one constraint validation and processes the result
+// per Figure 4.4: reliable violation aborts, threats are negotiated,
+// accepted threats are remembered.
+func (m *Manager) validateOne(t *tx.Tx, reg *repository.Registered, ctx *valContext, method string) error {
+	m.validations.Add(1)
+	ok, verr := reg.Impl.Validate(ctx)
+	degree := m.computeDegree(reg.Meta, ctx, ok, verr)
+
+	switch degree {
+	case constraint.Satisfied:
+		// A business operation that reliably satisfies the constraint also
+		// cleans up its stored threats: the CCMgr detects the clean-up
+		// "through the fact that the corresponding constraint is satisfied
+		// by a business operation" and removes the threat from persistent
+		// storage (§4.4 deferred reconciliation).
+		m.clearSatisfiedThreats(t, reg.Meta, ctx)
+		return nil
+	case constraint.Violated:
+		m.violations.Add(1)
+		err := &ViolationError{Constraint: reg.Meta.Name, Method: method}
+		t.SetRollbackOnly(err)
+		return err
+	default:
+		return m.negotiateThreat(t, reg, ctx, degree)
+	}
+}
+
+// computeDegree turns the raw validation outcome into a satisfaction degree
+// (§3.1): validation errors and unreachable objects are uncheckable; results
+// based on possibly stale objects are downgraded to "possibly"; intra-object
+// constraints keep their reliable result.
+func (m *Manager) computeDegree(meta constraint.Meta, ctx *valContext, ok bool, verr error) constraint.Degree {
+	if verr != nil || ctx.unreachable {
+		return constraint.Uncheckable
+	}
+	stale := ctx.anyStale()
+	if !stale {
+		if ok {
+			return constraint.Satisfied
+		}
+		return constraint.Violated
+	}
+	if meta.Scope == constraint.IntraObject {
+		// Intra-object constraints are not violated retrospectively by the
+		// replica reconciliation process (§3.1), so their validation result
+		// remains reliable.
+		m.intraObjectSaves.Add(1)
+		if ok {
+			return constraint.Satisfied
+		}
+		return constraint.Violated
+	}
+	if ok {
+		return constraint.PossiblySatisfied
+	}
+	return constraint.PossiblyViolated
+}
+
+// clearSatisfiedThreats removes stored threats of a constraint once a
+// business operation satisfies it reliably. Removal is undone if the
+// transaction rolls back (the satisfying operation never became effective).
+func (m *Manager) clearSatisfiedThreats(t *tx.Tx, meta constraint.Meta, ctx *valContext) {
+	th := threat.Threat{Constraint: meta.Name}
+	if meta.NeedsContext {
+		if ctx.contextObj == nil {
+			return
+		}
+		th.ContextID = ctx.contextObj.ID()
+	}
+	ident := th.Identity()
+	removed := m.threats.ByIdentity(ident)
+	if len(removed) == 0 {
+		return
+	}
+	m.removeIdentityEverywhere(ident)
+	t.RecordUndo(func() {
+		for _, old := range removed {
+			old.Seq = 0
+			_, _, _ = m.threats.Add(old)
+		}
+	})
+}
+
+// negotiateThreat runs the negotiation of Figure 3.3 and stores accepted
+// threats.
+func (m *Manager) negotiateThreat(t *tx.Tx, reg *repository.Registered, ctx *valContext, degree constraint.Degree) error {
+	m.threatsDetected.Add(1)
+	nc := &threat.NegotiationContext{
+		Constraint:      reg.Meta,
+		Degree:          degree,
+		Affected:        ctx.accessed,
+		PartitionWeight: m.partitionWeight(),
+	}
+	if ctx.contextObj != nil {
+		nc.ContextID = ctx.contextObj.ID()
+	} else if ctx.called != nil {
+		nc.ContextID = ctx.called.ID()
+	}
+	affected := ctx.accessed
+	if reg.Meta.CaptureAffectedState {
+		affected = make([]threat.AffectedObject, len(ctx.accessed))
+		copy(affected, ctx.accessed)
+		for i := range affected {
+			if e, err := m.registry.Get(affected[i].ID); err == nil {
+				affected[i].State = e.Snapshot()
+			}
+		}
+	}
+	th := threat.Threat{
+		Constraint:   reg.Meta.Name,
+		ContextID:    nc.ContextID,
+		Degree:       degree,
+		Affected:     affected,
+		Instructions: reg.Meta.Instructions,
+		TxID:         t.ID(),
+	}
+	if !reg.Meta.NeedsContext {
+		th.ContextID = ""
+	}
+
+	// Deferred mode (§5.4): run the decision in parallel and continue the
+	// operation under the assumption that the threat will be accepted.
+	if m.deferNegotiation(t, reg, nc, th) {
+		return nil
+	}
+
+	var dynamic threat.Handler
+	if h, ok := t.Value(keyNegHandler).(threat.Handler); ok {
+		dynamic = h
+	}
+	decision := threat.Negotiate(nc, dynamic, m.defaultMinDegree)
+	if decision != threat.Accept {
+		m.threatsRejected.Add(1)
+		err := &ThreatRejectedError{Constraint: reg.Meta.Name, Degree: degree}
+		t.SetRollbackOnly(err)
+		return err
+	}
+	m.threatsAccepted.Add(1)
+
+	// Pre- and postconditions cannot be re-evaluated during reconciliation
+	// (§3); their accepted threats are not stored, their trade has to be
+	// compensated by invariants.
+	if reg.Meta.Type == constraint.Pre || reg.Meta.Type == constraint.Post {
+		return nil
+	}
+	th.AppData = nc.AppData
+	return m.storeThreat(t, th)
+}
+
+// storeThreat persists the threat locally, schedules its replication at
+// commit, and undoes the local record if the transaction rolls back.
+func (m *Manager) storeThreat(t *tx.Tx, th threat.Threat) error {
+	stored, isNew, err := m.threats.Add(th)
+	if err != nil {
+		return fmt.Errorf("core: store threat: %w", err)
+	}
+	if !isNew {
+		// Folded into an identical threat: already persisted and already
+		// replicated — only the duplicate-detection read was paid (§5.5.1).
+		return nil
+	}
+	seq := stored.Seq
+	t.RecordUndo(func() { m.threats.Remove(seq) })
+	var accepted []threat.Threat
+	if v, ok := t.Value("ccm.accepted-threats").([]threat.Threat); ok {
+		accepted = v
+	}
+	t.Put("ccm.accepted-threats", append(accepted, stored))
+	return nil
+}
+
+// ValidateNew validates the hard invariants of a newly created entity
+// (invariants constrain public constructors, §2.3.1).
+func (m *Manager) ValidateNew(t *tx.Tx, e *object.Entity) error {
+	for _, reg := range m.repo.InvariantsOfClass(e.Class()) {
+		if reg.Meta.Type != constraint.HardInvariant || reg.Meta.SkipOnCreate {
+			continue
+		}
+		ctx := m.newContext(e, e, "<init>", nil, nil)
+		if err := m.validateOne(t, reg, ctx, "<init>"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsViolation reports whether the error is a constraint violation.
+func IsViolation(err error) bool { return errors.Is(err, ErrConstraintViolated) }
+
+// IsThreatRejected reports whether the error is a rejected threat.
+func IsThreatRejected(err error) bool { return errors.Is(err, ErrThreatRejected) }

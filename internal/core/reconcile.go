@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+// ReconciliationHandler is the application-provided constraint
+// reconciliation callback (Figure 4.6). It is invoked for every violated
+// constraint found during threat re-evaluation. Returning true means the
+// inconsistency was resolved immediately (the CCMgr revalidates); returning
+// false defers the clean-up to the application (§4.4).
+type ReconciliationHandler func(th threat.Threat, meta constraint.Meta) bool
+
+// ConflictNotifier is invoked when a satisfied constraint had an underlying
+// write-write replica conflict and its threat carried the
+// NotifyOnReplicaConflict instruction (§3.3).
+type ConflictNotifier func(th threat.Threat, conflicted []object.ID)
+
+// SetReconciliationHandler installs the constraint reconciliation callback.
+func (m *Manager) SetReconciliationHandler(h ReconciliationHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reconciliationHandler = h
+}
+
+// SetDisableViolatedConstraints selects the §3.3 alternative to resolving
+// violations: "the system could deactivate violated constraints in order to
+// reach the healthy state, thereby relaxing consistency". When enabled,
+// reconciliation disables a violated constraint in the repository and drops
+// its threats instead of invoking the reconciliation handler.
+func (m *Manager) SetDisableViolatedConstraints(enabled bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.disableViolated = enabled
+}
+
+// SetConflictNotifier installs the replica-conflict notification callback.
+func (m *Manager) SetConflictNotifier(h ConflictNotifier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.conflictNotifier = h
+}
+
+// NoteReplicaConflicts records the objects whose replicas conflicted during
+// the preceding replica reconciliation, so the constraint reconciliation
+// can honour NotifyOnReplicaConflict instructions.
+func (m *Manager) NoteReplicaConflicts(ids []object.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range ids {
+		m.replicaConflicts[id] = struct{}{}
+	}
+}
+
+// PropagateThreats ships all locally stored consistency threats to the
+// given peers. The replication service propagates missed updates "including
+// consistency threats" when partitions re-unify (§5.2); the reconciliation
+// orchestrator calls this as part of the replica phase, which is why that
+// phase scales with the number of stored threat records (Figure 5.6).
+func (m *Manager) PropagateThreats(peers []transport.NodeID) (int, error) {
+	if m.comm == nil {
+		return 0, nil
+	}
+	sent := 0
+	for _, th := range m.threats.All() {
+		for _, peer := range peers {
+			if peer == m.self {
+				continue
+			}
+			if _, err := m.comm.Send(m.self, peer, msgThreatAdd, th); err != nil {
+				// Peer unreachable again: it will catch up next time.
+				continue
+			}
+			sent++
+		}
+	}
+	return sent, nil
+}
+
+// PullThreats imports the threats stored on the given peers — threats
+// recorded in other partitions during the degraded period that this node
+// has not seen yet (missed updates include threat data, §5.2).
+func (m *Manager) PullThreats(peers []transport.NodeID) (int, error) {
+	if m.comm == nil {
+		return 0, nil
+	}
+	imported := 0
+	for _, peer := range peers {
+		if peer == m.self {
+			continue
+		}
+		resp, err := m.comm.Send(m.self, peer, msgThreatPull, nil)
+		if err != nil {
+			continue // unreachable again; next reconciliation catches up
+		}
+		remote, ok := resp.([]threat.Threat)
+		if !ok {
+			return imported, fmt.Errorf("core: bad threat pull response %T from %s", resp, peer)
+		}
+		for _, th := range remote {
+			th.Seq = 0
+			if _, isNew, err := m.threats.Add(th); err != nil {
+				return imported, err
+			} else if isNew {
+				imported++
+			}
+		}
+	}
+	return imported, nil
+}
+
+// ThreatReport summarises one constraint reconciliation pass (§5.2).
+type ThreatReport struct {
+	Reevaluated int // distinct threat identities processed
+	Removed     int // threats whose constraint turned out satisfied
+	Violations  int // constraints actually violated
+	RolledBack  int // violations repaired by history rollback
+	Resolved    int // violations resolved immediately by the handler
+	Deferred    int // violations deferred to the application
+	Postponed   int // threats still threatened (partition persists)
+	Notified    int // replica-conflict notifications delivered
+	Disabled    int // violated constraints deactivated (§3.3 alternative)
+}
+
+// maxResolveRetries bounds the revalidate/handler loop for handlers that
+// claim immediate resolution (§4.4: "otherwise, it will contact the
+// reconciliation handler again").
+const maxResolveRetries = 3
+
+// ReconcileThreats re-evaluates all accepted consistency threats (§3.3,
+// §4.4). It must run after replica reconciliation has re-established replica
+// consistency. Identical threats are re-evaluated once per identity.
+func (m *Manager) ReconcileThreats() (ThreatReport, error) {
+	m.reconciling.Store(true)
+	defer m.reconciling.Store(false)
+
+	var report ThreatReport
+	for _, ident := range m.threats.Identities() {
+		ths := m.threats.ByIdentity(ident)
+		if len(ths) == 0 {
+			continue
+		}
+		th := ths[0]
+		report.Reevaluated++
+		reg, err := m.repo.Get(th.Constraint)
+		if err != nil {
+			// The constraint was unregistered: its threats are moot.
+			m.removeIdentityEverywhere(ident)
+			report.Removed++
+			continue
+		}
+
+		degree, ctx, err := m.revalidate(th, reg.Meta, reg.Impl.Validate)
+		if err != nil {
+			return report, err
+		}
+		switch {
+		case degree == constraint.Satisfied:
+			m.removeIdentityEverywhere(ident)
+			report.Removed++
+			m.maybeNotifyConflict(ths, ctx, &report)
+		case degree.IsThreat():
+			// Still threatened: some affected object remains unreachable or
+			// stale; postpone until further partitions re-unify (§3.3).
+			report.Postponed++
+		default: // Violated
+			report.Violations++
+			m.resolveViolation(ident, th, reg.Meta, reg.Impl.Validate, &report)
+		}
+	}
+	return report, nil
+}
+
+type validateFunc func(ctx constraint.Context) (bool, error)
+
+// revalidate runs one constraint validation for reconciliation, returning
+// the observed degree and the context (for affected-object inspection).
+func (m *Manager) revalidate(th threat.Threat, meta constraint.Meta, validate validateFunc) (constraint.Degree, *valContext, error) {
+	var ctxObj *object.Entity
+	unreachable := false
+	if meta.NeedsContext {
+		if th.ContextID == "" {
+			return constraint.Violated, nil, fmt.Errorf("core: threat on %s lacks context object", th.Constraint)
+		}
+		e, _, err := m.lookup(th.ContextID)
+		if err != nil {
+			unreachable = true
+		} else {
+			ctxObj = e
+		}
+	}
+	ctx := m.newContext(ctxObj, nil, "", nil, nil)
+	ctx.unreachable = unreachable
+	ok, verr := validate(ctx)
+	return m.computeDegree(meta, ctx, ok, verr), ctx, nil
+}
+
+// maybeNotifyConflict delivers replica-conflict notifications for satisfied
+// constraints whose threats requested them.
+func (m *Manager) maybeNotifyConflict(ths []threat.Threat, ctx *valContext, report *ThreatReport) {
+	m.mu.Lock()
+	notifier := m.conflictNotifier
+	var conflicted []object.ID
+	if ctx != nil {
+		for _, a := range ctx.accessed {
+			if _, ok := m.replicaConflicts[a.ID]; ok {
+				conflicted = append(conflicted, a.ID)
+			}
+		}
+	}
+	m.mu.Unlock()
+	if len(conflicted) == 0 || notifier == nil {
+		return
+	}
+	for _, th := range ths {
+		if th.Instructions.NotifyOnReplicaConflict {
+			notifier(th, conflicted)
+			report.Notified++
+			return
+		}
+	}
+}
+
+// resolveViolation handles an actual constraint violation found during
+// reconciliation: history rollback if permitted, otherwise the
+// application's reconciliation handler with immediate or deferred semantics.
+func (m *Manager) resolveViolation(ident string, th threat.Threat, meta constraint.Meta, validate validateFunc, report *ThreatReport) {
+	if th.Instructions.AllowRollback && m.tryRollback(th, meta, validate) {
+		m.removeIdentityEverywhere(ident)
+		report.RolledBack++
+		return
+	}
+	m.mu.Lock()
+	handler := m.reconciliationHandler
+	disable := m.disableViolated
+	m.mu.Unlock()
+	if disable {
+		// §3.3 alternative: relax consistency by deactivating the violated
+		// constraint; its threats become moot.
+		if err := m.repo.SetEnabled(meta.Name, false); err == nil {
+			m.removeIdentityEverywhere(ident)
+			report.Disabled++
+			return
+		}
+	}
+	if handler == nil {
+		report.Deferred++
+		return
+	}
+	for attempt := 0; attempt < maxResolveRetries; attempt++ {
+		solved := handler(th, meta)
+		if !solved {
+			// Deferred reconciliation: the application cleans up later; the
+			// threat is removed once a business operation satisfies the
+			// constraint again (§4.4).
+			report.Deferred++
+			return
+		}
+		degree, _, err := m.revalidate(th, meta, validate)
+		if err != nil {
+			report.Deferred++
+			return
+		}
+		if degree == constraint.Satisfied {
+			m.removeIdentityEverywhere(ident)
+			report.Resolved++
+			return
+		}
+	}
+	report.Deferred++
+}
+
+// tryRollback searches the context object's recorded degraded-mode history
+// (newest first) for a state satisfying the constraint and installs it
+// system-wide. This is the generic rollback of §3.3 with its availability
+// cost: later updates do not become effective.
+func (m *Manager) tryRollback(th threat.Threat, meta constraint.Meta, validate validateFunc) bool {
+	if m.repl == nil || !meta.NeedsContext || th.ContextID == "" {
+		return false
+	}
+	history := m.repl.History(th.ContextID)
+	if len(history) == 0 {
+		return false
+	}
+	e, _, err := m.lookup(th.ContextID)
+	if err != nil {
+		return false
+	}
+	current, currentVersion := e.Snapshot(), e.Version()
+	for i := len(history) - 1; i >= 0; i-- {
+		entry := history[i]
+		e.Restore(entry.State, entry.Version)
+		ctx := m.newContext(e, nil, "", nil, nil)
+		ok, verr := validate(ctx)
+		if verr == nil && ok && !ctx.unreachable {
+			// Found a consistent historical state; propagate it.
+			if err := m.repl.PropagateState(th.ContextID); err != nil {
+				e.Restore(current, currentVersion)
+				return false
+			}
+			return true
+		}
+	}
+	e.Restore(current, currentVersion)
+	return false
+}
+
+// ClearReplicaConflicts resets the recorded conflicts after reconciliation.
+func (m *Manager) ClearReplicaConflicts() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replicaConflicts = make(map[object.ID]struct{})
+}

@@ -1,0 +1,303 @@
+// Package expr provides a small expression language over integer
+// environments: comparisons, arithmetic, and boolean connectives. It serves
+// two roles in the reproduction:
+//
+//   - as the interpreted constraint form of the Chapter 2 study (the
+//     Dresden-OCL-style tool that evaluates textual specifications at
+//     runtime), and
+//   - as the declarative constraint front end of §7.1's future work: OCL-ish
+//     specifications attached at design time are compiled into runtime
+//     integrity constraints (see constraint.FromExpr).
+//
+// Grammar, lowest precedence first:
+//
+//	expr   := and ( "||" and )*
+//	and    := cmp ( "&&" cmp )*
+//	cmp    := sum [ ("<="|">="|"<"|">"|"=="|"!=") sum ]
+//	sum    := term ( ("+"|"-") term )*
+//	term   := ident | integer | "(" expr ")"
+//
+// Booleans are represented as 0/1.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Env is the variable environment of one evaluation.
+type Env map[string]int64
+
+// Expr is one parsed expression node.
+type Expr interface {
+	// Eval computes the expression; unbound variables are errors.
+	Eval(env Env) (int64, error)
+}
+
+// Vars returns the sorted distinct variable names of an expression.
+func Vars(e Expr) []string {
+	set := make(map[string]struct{})
+	collectVars(e, set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+func collectVars(e Expr, set map[string]struct{}) {
+	switch n := e.(type) {
+	case varExpr:
+		set[string(n)] = struct{}{}
+	case binExpr:
+		collectVars(n.l, set)
+		collectVars(n.r, set)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+type litExpr int64
+
+func (l litExpr) Eval(Env) (int64, error) { return int64(l), nil }
+
+type varExpr string
+
+func (v varExpr) Eval(env Env) (int64, error) {
+	val, ok := env[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("expr: unbound variable %q", string(v))
+	}
+	return val, nil
+}
+
+type binExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (b binExpr) Eval(env Env) (int64, error) {
+	lv, err := b.l.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	rv, err := b.r.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case "+":
+		return lv + rv, nil
+	case "-":
+		return lv - rv, nil
+	case "<=":
+		return b2i(lv <= rv), nil
+	case ">=":
+		return b2i(lv >= rv), nil
+	case "<":
+		return b2i(lv < rv), nil
+	case ">":
+		return b2i(lv > rv), nil
+	case "==":
+		return b2i(lv == rv), nil
+	case "!=":
+		return b2i(lv != rv), nil
+	case "&&":
+		return b2i(lv != 0 && rv != 0), nil
+	case "||":
+		return b2i(lv != 0 || rv != 0), nil
+	default:
+		return 0, fmt.Errorf("expr: unknown operator %q", b.op)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Parse parses an expression.
+func Parse(src string) (Expr, error) {
+	p := &parser{tokens: tokenize(src)}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, fmt.Errorf("expr: parse %q: %w", src, err)
+	}
+	if p.pos != len(p.tokens) {
+		return nil, fmt.Errorf("expr: parse %q: trailing tokens at %d", src, p.pos)
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for package-level tables only.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func tokenize(src string) []string {
+	var tokens []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case strings.ContainsRune("()+-", rune(c)):
+			tokens = append(tokens, string(c))
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '&' || c == '|' || c == '!':
+			if i+1 < len(src) && (src[i+1] == '=' || src[i+1] == c) {
+				tokens = append(tokens, src[i:i+2])
+				i += 2
+			} else {
+				tokens = append(tokens, string(c))
+				i++
+			}
+		default:
+			j := i
+			for j < len(src) && (isAlnum(src[j]) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			if j == i {
+				tokens = append(tokens, string(c))
+				i++
+			} else {
+				tokens = append(tokens, src[i:j])
+				i = j
+			}
+		}
+	}
+	return tokens
+}
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+type parser struct {
+	tokens []string
+	pos    int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.tokens) {
+		return p.tokens[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "||" {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&&" {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = binExpr{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.peek(); op {
+	case "<=", ">=", "<", ">", "==", "!=":
+		p.next()
+		r, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: op, l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch op := p.peek(); op {
+		case "+", "-":
+			p.next()
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = binExpr{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	t := p.next()
+	switch {
+	case t == "":
+		return nil, fmt.Errorf("unexpected end of expression")
+	case t == "(":
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("missing closing parenthesis")
+		}
+		return e, nil
+	case t[0] >= '0' && t[0] <= '9':
+		n, err := strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", t)
+		}
+		return litExpr(n), nil
+	case isAlnum(t[0]) || t[0] == '_':
+		return varExpr(t), nil
+	default:
+		return nil, fmt.Errorf("unexpected token %q", t)
+	}
+}

@@ -1,0 +1,201 @@
+// Package group provides the group membership service (GMS) and group
+// communication (GC) components of Figure 4.1: per-node views derived from
+// the simulated network, view-change notification for failure/rejoin
+// detection, weighted membership for partition-sensitive constraints
+// (§5.5.2), and a synchronous multicast primitive used by the replication
+// service for update propagation.
+package group
+
+import (
+	"fmt"
+	"sync"
+
+	"dedisys/internal/transport"
+)
+
+// View is one node's perception of the reachable group.
+type View struct {
+	// Epoch is the topology epoch at which the view was installed.
+	Epoch int64
+	// Members are the reachable nodes (including the owner), sorted.
+	Members []transport.NodeID
+}
+
+// Contains reports whether the node is part of the view.
+func (v View) Contains(id transport.NodeID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the number of reachable nodes.
+func (v View) Size() int { return len(v.Members) }
+
+// Equal reports whether two views have the same membership.
+func (v View) Equal(o View) bool {
+	if len(v.Members) != len(o.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (v View) String() string {
+	return fmt.Sprintf("view@%d%v", v.Epoch, v.Members)
+}
+
+// Listener is notified when a node's view changes.
+type Listener func(old, new View)
+
+// Membership is the GMS. It watches the network for topology changes and
+// maintains one view per node.
+type Membership struct {
+	net *transport.Network
+
+	mu        sync.Mutex
+	weights   map[transport.NodeID]float64
+	views     map[transport.NodeID]View
+	listeners map[transport.NodeID][]Listener
+}
+
+// NewMembership creates a membership service bound to the network. Node
+// weights default to 1; override them with SetWeight before partitioning.
+func NewMembership(net *transport.Network) *Membership {
+	m := &Membership{
+		net:       net,
+		weights:   make(map[transport.NodeID]float64),
+		views:     make(map[transport.NodeID]View),
+		listeners: make(map[transport.NodeID][]Listener),
+	}
+	net.Watch(m.refresh)
+	m.refresh()
+	return m
+}
+
+// SetWeight assigns a weight to a node (Gifford-style weighted membership,
+// §5.5.2). Weights must be positive.
+func (m *Membership) SetWeight(id transport.NodeID, w float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.weights[id] = w
+}
+
+// ViewOf returns the current view of a node.
+func (m *Membership) ViewOf(id transport.NodeID) View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.views[id]
+}
+
+// Degraded reports whether a node perceives the system as degraded: its
+// view does not cover all joined nodes (§1.4's degraded mode).
+func (m *Membership) Degraded(id transport.NodeID) bool {
+	total := len(m.net.Nodes())
+	return m.ViewOf(id).Size() < total
+}
+
+// PartitionWeight returns the weight fraction of the node's current
+// partition relative to the whole system (§5.5.2). A healthy system yields 1.
+func (m *Membership) PartitionWeight(id transport.NodeID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total, mine float64
+	for _, n := range m.net.Nodes() {
+		total += m.weightLocked(n)
+	}
+	if total == 0 {
+		return 1
+	}
+	for _, n := range m.views[id].Members {
+		mine += m.weightLocked(n)
+	}
+	return mine / total
+}
+
+func (m *Membership) weightLocked(id transport.NodeID) float64 {
+	if w, ok := m.weights[id]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// OnViewChange registers a listener for one node's view changes. Listeners
+// run synchronously inside the topology change.
+func (m *Membership) OnViewChange(id transport.NodeID, l Listener) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.listeners[id] = append(m.listeners[id], l)
+}
+
+func (m *Membership) refresh() {
+	epoch := m.net.Epoch()
+	type change struct {
+		listeners []Listener
+		old, new  View
+	}
+	var changes []change
+	m.mu.Lock()
+	for _, id := range m.net.Nodes() {
+		nv := View{Epoch: epoch, Members: m.net.ReachableFrom(id)}
+		ov := m.views[id]
+		if nv.Equal(ov) {
+			continue
+		}
+		m.views[id] = nv
+		ls := make([]Listener, len(m.listeners[id]))
+		copy(ls, m.listeners[id])
+		changes = append(changes, change{listeners: ls, old: ov, new: nv})
+	}
+	m.mu.Unlock()
+	for _, c := range changes {
+		for _, l := range c.listeners {
+			l(c.old, c.new)
+		}
+	}
+}
+
+// Comm is the group communication component: synchronous multicast with
+// per-destination results, as needed for synchronous update propagation.
+type Comm struct {
+	net *transport.Network
+}
+
+// NewComm creates a group communication component over the network.
+func NewComm(net *transport.Network) *Comm {
+	return &Comm{net: net}
+}
+
+// Result is the outcome of one multicast destination.
+type Result struct {
+	Node     transport.NodeID
+	Response any
+	Err      error
+}
+
+// Multicast sends the message to each destination (excluding the sender if
+// present) and collects responses. Unreachable destinations report errors in
+// their result; the multicast itself always returns all results.
+func (c *Comm) Multicast(from transport.NodeID, to []transport.NodeID, kind string, payload any) []Result {
+	results := make([]Result, 0, len(to))
+	for _, dst := range to {
+		if dst == from {
+			continue
+		}
+		resp, err := c.net.Send(from, dst, kind, payload)
+		results = append(results, Result{Node: dst, Response: resp, Err: err})
+	}
+	return results
+}
+
+// Send forwards a point-to-point message (convenience over the network).
+func (c *Comm) Send(from, to transport.NodeID, kind string, payload any) (any, error) {
+	return c.net.Send(from, to, kind, payload)
+}

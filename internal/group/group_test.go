@@ -1,0 +1,176 @@
+package group
+
+import (
+	"math"
+	"testing"
+
+	"dedisys/internal/transport"
+)
+
+func threeNodes(t *testing.T) (*transport.Network, *Membership) {
+	t.Helper()
+	net := transport.NewNetwork()
+	for _, id := range []transport.NodeID{"n1", "n2", "n3"} {
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, NewMembership(net)
+}
+
+func TestInitialViews(t *testing.T) {
+	_, gms := threeNodes(t)
+	v := gms.ViewOf("n1")
+	if v.Size() != 3 || !v.Contains("n3") {
+		t.Fatalf("initial view = %v", v)
+	}
+	if gms.Degraded("n1") {
+		t.Fatal("healthy system reported degraded")
+	}
+}
+
+func TestViewsAfterPartition(t *testing.T) {
+	net, gms := threeNodes(t)
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+	if v := gms.ViewOf("n1"); v.Size() != 2 || v.Contains("n3") {
+		t.Fatalf("n1 view = %v", v)
+	}
+	if v := gms.ViewOf("n3"); v.Size() != 1 {
+		t.Fatalf("n3 view = %v", v)
+	}
+	if !gms.Degraded("n1") || !gms.Degraded("n3") {
+		t.Fatal("partitioned system not degraded")
+	}
+	net.Heal()
+	if gms.Degraded("n1") {
+		t.Fatal("healed system still degraded")
+	}
+	if v := gms.ViewOf("n3"); v.Size() != 3 {
+		t.Fatalf("n3 healed view = %v", v)
+	}
+}
+
+func TestViewChangeListeners(t *testing.T) {
+	net, gms := threeNodes(t)
+	var events []View
+	gms.OnViewChange("n1", func(old, nw View) {
+		events = append(events, nw)
+	})
+	net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2", "n3"})
+	net.Heal()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Size() != 1 || events[1].Size() != 3 {
+		t.Fatalf("event sizes = %d, %d", events[0].Size(), events[1].Size())
+	}
+	// Re-partitioning identically must not fire again (views unchanged).
+	before := len(events)
+	net.Heal()
+	if len(events) != before {
+		t.Fatal("no-op topology change fired a listener")
+	}
+}
+
+func TestPartitionWeightDefaults(t *testing.T) {
+	net, gms := threeNodes(t)
+	if w := gms.PartitionWeight("n1"); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("healthy weight = %f", w)
+	}
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+	if w := gms.PartitionWeight("n1"); math.Abs(w-2.0/3.0) > 1e-9 {
+		t.Fatalf("n1 weight = %f", w)
+	}
+	if w := gms.PartitionWeight("n3"); math.Abs(w-1.0/3.0) > 1e-9 {
+		t.Fatalf("n3 weight = %f", w)
+	}
+}
+
+func TestPartitionWeightCustom(t *testing.T) {
+	net, gms := threeNodes(t)
+	gms.SetWeight("n1", 5)
+	gms.SetWeight("n2", 3)
+	gms.SetWeight("n3", 2)
+	net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2", "n3"})
+	if w := gms.PartitionWeight("n1"); math.Abs(w-0.5) > 1e-9 {
+		t.Fatalf("n1 weight = %f", w)
+	}
+	if w := gms.PartitionWeight("n2"); math.Abs(w-0.5) > 1e-9 {
+		t.Fatalf("n2 weight = %f", w)
+	}
+}
+
+func TestViewEqual(t *testing.T) {
+	a := View{Members: []transport.NodeID{"a", "b"}}
+	b := View{Members: []transport.NodeID{"a", "b"}}
+	c := View{Members: []transport.NodeID{"a", "c"}}
+	d := View{Members: []transport.NodeID{"a"}}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Fatal("Equal wrong")
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestMulticastCollectsResults(t *testing.T) {
+	net, _ := threeNodes(t)
+	for _, id := range []transport.NodeID{"n2", "n3"} {
+		id := id
+		if err := net.Handle(id, "update", func(from transport.NodeID, payload any) (any, error) {
+			return string(id) + "-ack", nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net)
+	results := comm.Multicast("n1", []transport.NodeID{"n1", "n2", "n3"}, "update", "state")
+	if len(results) != 2 {
+		t.Fatalf("results = %d (sender must be excluded)", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result err for %s: %v", r.Node, r.Err)
+		}
+		if r.Response != string(r.Node)+"-ack" {
+			t.Fatalf("response = %v", r.Response)
+		}
+	}
+}
+
+func TestMulticastPartialFailure(t *testing.T) {
+	net, _ := threeNodes(t)
+	if err := net.Handle("n2", "update", func(transport.NodeID, any) (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+	comm := NewComm(net)
+	results := comm.Multicast("n1", []transport.NodeID{"n2", "n3"}, "update", nil)
+	var okCount, errCount int
+	for _, r := range results {
+		if r.Err != nil {
+			errCount++
+		} else {
+			okCount++
+		}
+	}
+	if okCount != 1 || errCount != 1 {
+		t.Fatalf("ok=%d err=%d", okCount, errCount)
+	}
+	if _, err := comm.Send("n1", "n2", "update", nil); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+func TestLateJoinGetsView(t *testing.T) {
+	net, gms := threeNodes(t)
+	if err := net.Join("n4"); err != nil {
+		t.Fatal(err)
+	}
+	if v := gms.ViewOf("n4"); v.Size() != 4 {
+		t.Fatalf("late joiner view = %v", v)
+	}
+	if v := gms.ViewOf("n1"); v.Size() != 4 {
+		t.Fatalf("existing node view after join = %v", v)
+	}
+}

@@ -1,0 +1,128 @@
+// Package invocation provides the invocation service of Figure 4.1: method
+// invocations reified as objects (the command pattern, §5.3) flowing through
+// an interceptor chain (Figure 4.5). Middleware services — transaction
+// association, constraint consistency management, replication — hook into
+// the chain as interceptors; the terminal interceptor dispatches to the
+// entity's method implementation.
+package invocation
+
+import (
+	"errors"
+	"fmt"
+
+	"dedisys/internal/object"
+	"dedisys/internal/transport"
+	"dedisys/internal/tx"
+)
+
+// ErrNoTerminal reports a chain without a terminal dispatcher.
+var ErrNoTerminal = errors.New("invocation: chain has no terminal dispatcher")
+
+// Invocation is one reified method call. Interceptors may attach arbitrary
+// payload (§5.3: "any desired additional payload can be added to such an
+// invocation").
+type Invocation struct {
+	// Node is the node executing the invocation.
+	Node transport.NodeID
+	// Target is the invoked object.
+	Target object.ID
+	// Class and Method name the invoked operation.
+	Class  string
+	Method string
+	// Kind classifies the method for replication (read or write).
+	Kind object.MethodKind
+	// Args are the method arguments.
+	Args []any
+	// Tx is the surrounding transaction.
+	Tx *tx.Tx
+	// Result holds the method result after the terminal dispatcher ran; it
+	// is visible to interceptors on the way back (for postconditions).
+	Result any
+	// Remote marks invocations forwarded from another node.
+	Remote bool
+
+	payload map[string]any
+}
+
+// Put attaches interceptor payload to the invocation.
+func (inv *Invocation) Put(key string, v any) {
+	if inv.payload == nil {
+		inv.payload = make(map[string]any)
+	}
+	inv.payload[key] = v
+}
+
+// Value reads interceptor payload.
+func (inv *Invocation) Value(key string) any {
+	return inv.payload[key]
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (inv *Invocation) String() string {
+	return fmt.Sprintf("%s.%s(%s) on %s", inv.Class, inv.Method, inv.Target, inv.Node)
+}
+
+// Next continues the interceptor chain.
+type Next func(inv *Invocation) (any, error)
+
+// Interceptor is one element of the chain (Figure 4.5). Interceptors run
+// code before and/or after calling next, and may abort by returning an error
+// without calling next.
+type Interceptor interface {
+	// Name identifies the interceptor in diagnostics.
+	Name() string
+	// Invoke processes the invocation and normally delegates to next.
+	Invoke(inv *Invocation, next Next) (any, error)
+}
+
+// Func adapts a function to the Interceptor interface.
+type Func struct {
+	ID string
+	Fn func(inv *Invocation, next Next) (any, error)
+}
+
+// Name implements Interceptor.
+func (f Func) Name() string { return f.ID }
+
+// Invoke implements Interceptor.
+func (f Func) Invoke(inv *Invocation, next Next) (any, error) { return f.Fn(inv, next) }
+
+// Chain composes interceptors around a terminal dispatcher.
+type Chain struct {
+	interceptors []Interceptor
+	terminal     Next
+}
+
+// NewChain builds a chain; interceptors run in the given order around the
+// terminal dispatcher.
+func NewChain(terminal Next, interceptors ...Interceptor) *Chain {
+	return &Chain{interceptors: interceptors, terminal: terminal}
+}
+
+// Dispatch sends the invocation through the chain.
+func (c *Chain) Dispatch(inv *Invocation) (any, error) {
+	if c.terminal == nil {
+		return nil, ErrNoTerminal
+	}
+	return c.step(0)(inv)
+}
+
+func (c *Chain) step(i int) Next {
+	if i == len(c.interceptors) {
+		return c.terminal
+	}
+	ic := c.interceptors[i]
+	next := c.step(i + 1)
+	return func(inv *Invocation) (any, error) {
+		return ic.Invoke(inv, next)
+	}
+}
+
+// Names returns the interceptor names in chain order.
+func (c *Chain) Names() []string {
+	out := make([]string, len(c.interceptors))
+	for i, ic := range c.interceptors {
+		out[i] = ic.Name()
+	}
+	return out
+}

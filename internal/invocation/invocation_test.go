@@ -1,0 +1,108 @@
+package invocation
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChainOrderAndResult(t *testing.T) {
+	var trace []string
+	mk := func(name string) Interceptor {
+		return Func{ID: name, Fn: func(inv *Invocation, next Next) (any, error) {
+			trace = append(trace, "pre-"+name)
+			res, err := next(inv)
+			trace = append(trace, "post-"+name)
+			return res, err
+		}}
+	}
+	terminal := func(inv *Invocation) (any, error) {
+		trace = append(trace, "terminal")
+		return "result", nil
+	}
+	c := NewChain(terminal, mk("a"), mk("b"))
+	res, err := c.Dispatch(&Invocation{Class: "C", Method: "M"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "result" {
+		t.Fatalf("result = %v", res)
+	}
+	want := []string{"pre-a", "pre-b", "terminal", "post-b", "post-a"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %s, want %s", i, trace[i], want[i])
+		}
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestInterceptorMayAbort(t *testing.T) {
+	boom := errors.New("aborted")
+	abort := Func{ID: "abort", Fn: func(inv *Invocation, next Next) (any, error) {
+		return nil, boom
+	}}
+	reached := false
+	terminal := func(inv *Invocation) (any, error) {
+		reached = true
+		return nil, nil
+	}
+	c := NewChain(terminal, abort)
+	_, err := c.Dispatch(&Invocation{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if reached {
+		t.Fatal("terminal reached despite abort")
+	}
+}
+
+func TestNoTerminal(t *testing.T) {
+	c := NewChain(nil)
+	if _, err := c.Dispatch(&Invocation{}); !errors.Is(err, ErrNoTerminal) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPayload(t *testing.T) {
+	inv := &Invocation{}
+	if inv.Value("k") != nil {
+		t.Fatal("unset payload not nil")
+	}
+	inv.Put("k", 42)
+	if inv.Value("k") != 42 {
+		t.Fatalf("payload = %v", inv.Value("k"))
+	}
+}
+
+func TestString(t *testing.T) {
+	inv := &Invocation{Node: "n1", Target: "f1", Class: "Flight", Method: "SellTickets"}
+	if inv.String() != "Flight.SellTickets(f1) on n1" {
+		t.Fatalf("String = %s", inv.String())
+	}
+}
+
+func TestResultVisibleToInterceptors(t *testing.T) {
+	var observed any
+	post := Func{ID: "post", Fn: func(inv *Invocation, next Next) (any, error) {
+		res, err := next(inv)
+		observed = inv.Result
+		return res, err
+	}}
+	terminal := func(inv *Invocation) (any, error) {
+		inv.Result = 99
+		return inv.Result, nil
+	}
+	c := NewChain(terminal, post)
+	if _, err := c.Dispatch(&Invocation{}); err != nil {
+		t.Fatal(err)
+	}
+	if observed != 99 {
+		t.Fatalf("observed result = %v", observed)
+	}
+}

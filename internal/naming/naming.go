@@ -1,0 +1,212 @@
+// Package naming provides the naming service (NS) of Figure 4.1 — the JNDI
+// analogue: name-to-object bindings that applications use to locate their
+// entity objects. Bindings are replicated to all reachable nodes when they
+// are created and lazily synchronised when partitions re-unify; like the
+// prototype's JNDI, the service favours availability (lookups are always
+// local) over binding consistency.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dedisys/internal/group"
+	"dedisys/internal/object"
+	"dedisys/internal/transport"
+)
+
+// Message kinds of the naming service.
+const (
+	msgBind   = "naming.bind"
+	msgUnbind = "naming.unbind"
+	msgPull   = "naming.pull"
+)
+
+// Errors of the naming service.
+var (
+	// ErrNotBound reports a lookup of an unbound name.
+	ErrNotBound = errors.New("naming: name not bound")
+	// ErrAlreadyBound reports a bind of an existing name.
+	ErrAlreadyBound = errors.New("naming: name already bound")
+)
+
+// binding is one replicated name entry; the epoch orders conflicting binds.
+type binding struct {
+	ID    object.ID
+	Epoch int64
+	Dead  bool // tombstone after unbind
+}
+
+// Service is the per-node naming service.
+type Service struct {
+	self transport.NodeID
+	net  *transport.Network
+	gms  *group.Membership
+	comm *group.Comm
+
+	mu       sync.Mutex
+	epoch    int64
+	bindings map[string]binding
+}
+
+// New creates a naming service and registers its handlers.
+func New(self transport.NodeID, net *transport.Network, gms *group.Membership) (*Service, error) {
+	s := &Service{
+		self:     self,
+		net:      net,
+		gms:      gms,
+		comm:     group.NewComm(net),
+		bindings: make(map[string]binding),
+	}
+	for kind, h := range map[string]transport.Handler{
+		msgBind:   s.handleBind,
+		msgUnbind: s.handleUnbind,
+		msgPull:   s.handlePull,
+	} {
+		if err := net.Handle(self, kind, h); err != nil {
+			return nil, fmt.Errorf("naming: register %s: %w", kind, err)
+		}
+	}
+	return s, nil
+}
+
+// Bind associates a name with an object and propagates the binding to all
+// reachable nodes.
+func (s *Service) Bind(name string, id object.ID) error {
+	s.mu.Lock()
+	if b, ok := s.bindings[name]; ok && !b.Dead {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrAlreadyBound, name)
+	}
+	s.epoch++
+	b := binding{ID: id, Epoch: s.epoch}
+	s.bindings[name] = b
+	s.mu.Unlock()
+	s.broadcast(msgBind, bindMsg{Name: name, Binding: b})
+	return nil
+}
+
+// Rebind associates a name with an object, replacing any existing binding.
+func (s *Service) Rebind(name string, id object.ID) {
+	s.mu.Lock()
+	s.epoch++
+	b := binding{ID: id, Epoch: s.epoch}
+	s.bindings[name] = b
+	s.mu.Unlock()
+	s.broadcast(msgBind, bindMsg{Name: name, Binding: b})
+}
+
+// Unbind removes a name, leaving a tombstone so the removal wins over stale
+// binds during synchronisation.
+func (s *Service) Unbind(name string) error {
+	s.mu.Lock()
+	b, ok := s.bindings[name]
+	if !ok || b.Dead {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	s.epoch++
+	dead := binding{ID: b.ID, Epoch: s.epoch, Dead: true}
+	s.bindings[name] = dead
+	s.mu.Unlock()
+	s.broadcast(msgUnbind, bindMsg{Name: name, Binding: dead})
+	return nil
+}
+
+// Lookup resolves a name locally.
+func (s *Service) Lookup(name string) (object.ID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bindings[name]
+	if !ok || b.Dead {
+		return "", fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	return b.ID, nil
+}
+
+// Names returns all bound names, sorted.
+func (s *Service) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.bindings))
+	for name, b := range s.bindings {
+		if !b.Dead {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SyncWith pulls a peer's bindings and merges them (used after partitions
+// re-unify; newer epochs win, tombstones included).
+func (s *Service) SyncWith(peer transport.NodeID) error {
+	resp, err := s.comm.Send(s.self, peer, msgPull, nil)
+	if err != nil {
+		return fmt.Errorf("naming: sync with %s: %w", peer, err)
+	}
+	remote, ok := resp.(map[string]binding)
+	if !ok {
+		return fmt.Errorf("naming: bad pull response %T", resp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, rb := range remote {
+		lb, exists := s.bindings[name]
+		if !exists || rb.Epoch > lb.Epoch {
+			s.bindings[name] = rb
+			if rb.Epoch > s.epoch {
+				s.epoch = rb.Epoch
+			}
+		}
+	}
+	return nil
+}
+
+type bindMsg struct {
+	Name    string
+	Binding binding
+}
+
+func (s *Service) broadcast(kind string, msg bindMsg) {
+	members := s.gms.ViewOf(s.self).Members
+	for _, res := range s.comm.Multicast(s.self, members, kind, msg) {
+		_ = res // unreachable nodes synchronise on heal
+	}
+}
+
+func (s *Service) handleBind(from transport.NodeID, payload any) (any, error) {
+	return s.applyRemote(payload)
+}
+
+func (s *Service) handleUnbind(from transport.NodeID, payload any) (any, error) {
+	return s.applyRemote(payload)
+}
+
+func (s *Service) applyRemote(payload any) (any, error) {
+	msg, ok := payload.(bindMsg)
+	if !ok {
+		return nil, fmt.Errorf("naming: bad payload %T", payload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lb, exists := s.bindings[msg.Name]; !exists || msg.Binding.Epoch > lb.Epoch {
+		s.bindings[msg.Name] = msg.Binding
+		if msg.Binding.Epoch > s.epoch {
+			s.epoch = msg.Binding.Epoch
+		}
+	}
+	return "ack", nil
+}
+
+func (s *Service) handlePull(from transport.NodeID, payload any) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]binding, len(s.bindings))
+	for k, v := range s.bindings {
+		out[k] = v
+	}
+	return out, nil
+}

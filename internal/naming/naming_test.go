@@ -1,0 +1,146 @@
+package naming
+
+import (
+	"errors"
+	"testing"
+
+	"dedisys/internal/group"
+	"dedisys/internal/transport"
+)
+
+func twoServices(t *testing.T) (*transport.Network, *Service, *Service) {
+	t.Helper()
+	net := transport.NewNetwork()
+	for _, id := range []transport.NodeID{"n1", "n2"} {
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gms := group.NewMembership(net)
+	s1, err := New("n1", net, gms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New("n2", net, gms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, s1, s2
+}
+
+func TestBindLookupPropagation(t *testing.T) {
+	_, s1, s2 := twoServices(t)
+	if err := s1.Bind("flights/LH1234", "f1"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.Lookup("flights/LH1234")
+	if err != nil || id != "f1" {
+		t.Fatalf("local lookup = %s, %v", id, err)
+	}
+	// The binding propagated to the peer.
+	id, err = s2.Lookup("flights/LH1234")
+	if err != nil || id != "f1" {
+		t.Fatalf("remote lookup = %s, %v", id, err)
+	}
+	if err := s1.Bind("flights/LH1234", "other"); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("double bind err = %v", err)
+	}
+	if _, err := s2.Lookup("nope"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("missing lookup err = %v", err)
+	}
+}
+
+func TestRebindAndUnbind(t *testing.T) {
+	_, s1, s2 := twoServices(t)
+	if err := s1.Bind("a", "x1"); err != nil {
+		t.Fatal(err)
+	}
+	s1.Rebind("a", "x2")
+	if id, _ := s2.Lookup("a"); id != "x2" {
+		t.Fatalf("rebind not propagated: %s", id)
+	}
+	if err := s1.Unbind("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Lookup("a"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("unbind not propagated: %v", err)
+	}
+	if err := s1.Unbind("a"); !errors.Is(err, ErrNotBound) {
+		t.Fatalf("double unbind err = %v", err)
+	}
+	if got := s1.Names(); len(got) != 0 {
+		t.Fatalf("names after unbind = %v", got)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	_, s1, _ := twoServices(t)
+	for _, n := range []string{"c", "a", "b"} {
+		if err := s1.Bind(n, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s1.Names()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestPartitionAndSync(t *testing.T) {
+	net, s1, s2 := twoServices(t)
+	net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+
+	// Both sides bind independently during the partition.
+	if err := s1.Bind("p/a", "a1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Bind("p/b", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Lookup("p/a"); !errors.Is(err, ErrNotBound) {
+		t.Fatal("binding crossed the partition")
+	}
+
+	net.Heal()
+	if err := s1.SyncWith("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.SyncWith("n1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Service{s1, s2} {
+		if id, err := s.Lookup("p/a"); err != nil || id != "a1" {
+			t.Fatalf("p/a = %s, %v", id, err)
+		}
+		if id, err := s.Lookup("p/b"); err != nil || id != "b1" {
+			t.Fatalf("p/b = %s, %v", id, err)
+		}
+	}
+}
+
+func TestUnbindTombstoneWinsAfterSync(t *testing.T) {
+	net, s1, s2 := twoServices(t)
+	if err := s1.Bind("x", "x1"); err != nil {
+		t.Fatal(err)
+	}
+	net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+	// n1 unbinds during the partition; n2 still has the old binding.
+	if err := s1.Unbind("x"); err != nil {
+		t.Fatal(err)
+	}
+	net.Heal()
+	if err := s2.SyncWith("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Lookup("x"); !errors.Is(err, ErrNotBound) {
+		t.Fatal("tombstone lost during sync")
+	}
+}
+
+func TestSyncUnreachablePeer(t *testing.T) {
+	net, s1, _ := twoServices(t)
+	net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
+	if err := s1.SyncWith("n2"); err == nil {
+		t.Fatal("sync across partition should fail")
+	}
+}

@@ -1,0 +1,563 @@
+// Package node assembles the middleware stack of Figure 4.1 into a runnable
+// DeDiSys node: object registry, transaction manager, persistence,
+// replication service, constraint consistency manager and the invocation
+// service with its interceptor chain. A Cluster builder wires several nodes
+// over one simulated network for the evaluation scenarios.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/core"
+	"dedisys/internal/group"
+	"dedisys/internal/invocation"
+	"dedisys/internal/naming"
+	"dedisys/internal/object"
+	"dedisys/internal/persistence"
+	"dedisys/internal/replication"
+	"dedisys/internal/repository"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+	"dedisys/internal/tx"
+)
+
+// msgInvoke forwards an invocation to the coordinating node.
+const msgInvoke = "node.invoke"
+
+// ErrNotCoordinator reports a transactional write invocation on a node that
+// is not the object's coordinator in the current view.
+var ErrNotCoordinator = errors.New("node: not the coordinator for this object")
+
+// Options configure one node.
+type Options struct {
+	ID  transport.NodeID
+	Net *transport.Network
+	GMS *group.Membership
+
+	// Protocol selects the replica control protocol (default P4).
+	Protocol replication.Protocol
+	// ThreatPolicy selects threat storage (default identical-once).
+	ThreatPolicy threat.StorePolicy
+	// KeepHistory records degraded-mode state history.
+	KeepHistory bool
+	// DefaultMinDegree is the application-wide negotiation default.
+	DefaultMinDegree constraint.Degree
+	// RepoCache enables the optimized constraint repository.
+	RepoCache bool
+	// StoreCost models database latency.
+	StoreCost persistence.CostModel
+	// DisableCCM turns off constraint consistency management entirely
+	// (the "No DeDiSys" configuration of §5.1).
+	DisableCCM bool
+	// DisableReplication runs the node without the replication service.
+	DisableReplication bool
+	// LockTimeout bounds object lock acquisition.
+	LockTimeout time.Duration
+}
+
+// Node is one DeDiSys middleware instance.
+type Node struct {
+	ID       transport.NodeID
+	Registry *object.Registry
+	Store    *persistence.Store
+	TxMgr    *tx.Manager
+	Repo     *repository.Repository
+	Threats  *threat.Store
+	Repl     *replication.Manager
+	CCM      *core.Manager
+	Naming   *naming.Service
+
+	net   *transport.Network
+	gms   *group.Membership
+	chain *invocation.Chain
+	cmp   *cmpResource
+}
+
+// cmpResource is the container-managed-persistence analogue: entity state
+// touched by a transaction is written to the node's persistent store at
+// commit, the way the prototype's entity beans were persisted through
+// CMP/BMP into MySQL (Figure 4.1).
+type cmpResource struct {
+	store *persistence.Store
+	reg   *object.Registry
+
+	mu    sync.Mutex
+	dirty map[int64]*cmpChanges
+}
+
+type cmpChanges struct {
+	updated map[object.ID]struct{}
+	deleted map[object.ID]struct{}
+}
+
+// cmpTable is the persistence table holding entity state.
+const cmpTable = "entities"
+
+func newCMPResource(store *persistence.Store, reg *object.Registry) *cmpResource {
+	return &cmpResource{store: store, reg: reg, dirty: make(map[int64]*cmpChanges)}
+}
+
+func (c *cmpResource) mark(t *tx.Tx, id object.ID, deleted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.dirty[t.ID()]
+	if !ok {
+		ch = &cmpChanges{updated: make(map[object.ID]struct{}), deleted: make(map[object.ID]struct{})}
+		c.dirty[t.ID()] = ch
+	}
+	if deleted {
+		delete(ch.updated, id)
+		ch.deleted[id] = struct{}{}
+	} else {
+		delete(ch.deleted, id)
+		ch.updated[id] = struct{}{}
+	}
+}
+
+// Prepare implements tx.Resource.
+func (c *cmpResource) Prepare(t *tx.Tx) error { return nil }
+
+// Commit implements tx.Resource: persist dirty entity states.
+func (c *cmpResource) Commit(t *tx.Tx) error {
+	c.mu.Lock()
+	ch, ok := c.dirty[t.ID()]
+	delete(c.dirty, t.ID())
+	c.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	var firstErr error
+	for id := range ch.updated {
+		e, err := c.reg.Get(id)
+		if err != nil {
+			continue // deleted concurrently; nothing to persist
+		}
+		if err := c.store.Put(cmpTable, string(id), e.Snapshot()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for id := range ch.deleted {
+		c.store.Delete(cmpTable, string(id))
+	}
+	return firstErr
+}
+
+// Rollback implements tx.Resource: discard the change set.
+func (c *cmpResource) Rollback(t *tx.Tx) error {
+	c.mu.Lock()
+	delete(c.dirty, t.ID())
+	c.mu.Unlock()
+	return nil
+}
+
+var _ tx.Resource = (*cmpResource)(nil)
+
+// New builds a node and registers its network handlers.
+func New(opts Options) (*Node, error) {
+	if opts.ID == "" || opts.Net == nil || opts.GMS == nil {
+		return nil, errors.New("node: ID, Net and GMS are required")
+	}
+	n := &Node{
+		ID:       opts.ID,
+		Registry: object.NewRegistry(),
+		Store:    persistence.NewStore(persistence.WithCost(opts.StoreCost)),
+		net:      opts.Net,
+		gms:      opts.GMS,
+	}
+	var txOpts []tx.Option
+	if opts.LockTimeout > 0 {
+		txOpts = append(txOpts, tx.WithLockTimeout(opts.LockTimeout))
+	}
+	n.TxMgr = tx.NewManager(txOpts...)
+
+	var repoOpts []repository.Option
+	if opts.RepoCache {
+		repoOpts = append(repoOpts, repository.WithCache())
+	}
+	n.Repo = repository.New(repoOpts...)
+	n.Threats = threat.NewStore(n.Store, opts.ThreatPolicy)
+	n.Threats.SetOwner(string(opts.ID))
+	n.cmp = newCMPResource(n.Store, n.Registry)
+	n.TxMgr.RegisterResource(n.cmp)
+
+	if !opts.DisableReplication {
+		mgr, err := replication.NewManager(replication.Config{
+			Self:        opts.ID,
+			Net:         opts.Net,
+			GMS:         opts.GMS,
+			Registry:    n.Registry,
+			Store:       n.Store,
+			Protocol:    opts.Protocol,
+			KeepHistory: opts.KeepHistory,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+		}
+		n.Repl = mgr
+		n.TxMgr.RegisterResource(mgr)
+	}
+
+	if !opts.DisableCCM {
+		ccm, err := core.New(core.Config{
+			Self:             opts.ID,
+			Net:              opts.Net,
+			GMS:              opts.GMS,
+			Registry:         n.Registry,
+			Repl:             n.Repl,
+			Repo:             n.Repo,
+			Threats:          n.Threats,
+			DefaultMinDegree: opts.DefaultMinDegree,
+			ReplicateThreats: !opts.DisableReplication,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+		}
+		n.CCM = ccm
+		n.TxMgr.RegisterResource(ccm)
+	}
+
+	var interceptors []invocation.Interceptor
+	if n.CCM != nil {
+		interceptors = append(interceptors, n.CCM.Interceptor())
+	}
+	n.chain = invocation.NewChain(n.dispatch, interceptors...)
+
+	ns, err := naming.New(opts.ID, opts.Net, opts.GMS)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+	}
+	n.Naming = ns
+
+	if err := opts.Net.Handle(opts.ID, msgInvoke, n.handleRemoteInvoke); err != nil {
+		return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+	}
+	return n, nil
+}
+
+// dispatch is the terminal interceptor: it executes the business method on
+// the local entity under the transaction's object lock.
+func (n *Node) dispatch(inv *invocation.Invocation) (any, error) {
+	e, err := n.Registry.Get(inv.Target)
+	if err != nil {
+		return nil, fmt.Errorf("node %s: dispatch %s: %w", n.ID, inv, err)
+	}
+	schema, err := n.Registry.Schema(inv.Class)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := schema.Method(inv.Method)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Kind == object.Write && inv.Tx != nil {
+		inv.Tx.RecordUpdate(e)
+	}
+	res, err := spec.Fn(e, inv.Args)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Kind == object.Write && inv.Tx != nil {
+		n.cmp.mark(inv.Tx, inv.Target, false)
+		if n.Repl != nil {
+			n.Repl.MarkDirty(inv.Tx, inv.Target)
+		}
+	}
+	return res, nil
+}
+
+// Begin starts a transaction on this node.
+func (n *Node) Begin() *tx.Tx { return n.TxMgr.Begin() }
+
+// RegisterSchema installs a class schema (deployment step).
+func (n *Node) RegisterSchema(s *object.Schema) { n.Registry.RegisterSchema(s) }
+
+// DeployConstraints registers configured constraints with the repository.
+func (n *Node) DeployConstraints(cs []constraint.Configured) error {
+	return n.Repo.RegisterAll(cs)
+}
+
+// remoteInvokePayload carries a forwarded invocation.
+type remoteInvokePayload struct {
+	Target object.ID
+	Method string
+	Args   []any
+}
+
+func (n *Node) handleRemoteInvoke(from transport.NodeID, payload any) (any, error) {
+	p, ok := payload.(remoteInvokePayload)
+	if !ok {
+		return nil, fmt.Errorf("node %s: bad invoke payload %T", n.ID, payload)
+	}
+	return n.Invoke(p.Target, p.Method, p.Args...)
+}
+
+// Invoke performs one business operation in its own transaction
+// (container-managed, EJB "Required" semantics). Write operations are routed
+// to the object's coordinator under the active replication protocol; reads
+// execute on the local replica (always local under P4).
+func (n *Node) Invoke(target object.ID, method string, args ...any) (any, error) {
+	kind, _, err := n.methodKind(target, method)
+	if err != nil {
+		return nil, err
+	}
+	if kind == object.Write && n.Repl != nil {
+		coord, err := n.Repl.Coordinator(target)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Repl.CheckWrite(target); err != nil {
+			return nil, err
+		}
+		if coord != n.ID {
+			return n.net.Send(n.ID, coord, msgInvoke, remoteInvokePayload{Target: target, Method: method, Args: args})
+		}
+	}
+	if kind == object.Read && n.Repl != nil && !n.Repl.HasLocalReplica(target) {
+		info, err := n.Repl.Info(target)
+		if err != nil {
+			return nil, err
+		}
+		view := n.gms.ViewOf(n.ID)
+		for _, r := range info.Replicas {
+			if r != n.ID && view.Contains(r) {
+				return n.net.Send(n.ID, r, msgInvoke, remoteInvokePayload{Target: target, Method: method, Args: args})
+			}
+		}
+		return nil, fmt.Errorf("%w: %s", replication.ErrNoReplica, target)
+	}
+
+	t := n.Begin()
+	res, err := n.InvokeTx(t, target, method, args...)
+	if err != nil {
+		if t.Status() == tx.Active {
+			_ = t.Rollback()
+		}
+		return nil, err
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// InvokeNamed resolves a name through the naming service and invokes the
+// bound object (the JNDI-style lookup-then-call of EJB clients).
+func (n *Node) InvokeNamed(name, method string, args ...any) (any, error) {
+	id, err := n.Naming.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return n.Invoke(id, method, args...)
+}
+
+// InvokeTx performs a business operation within an existing transaction.
+// The calling node must be the object's coordinator for write operations.
+func (n *Node) InvokeTx(t *tx.Tx, target object.ID, method string, args ...any) (any, error) {
+	kind, class, err := n.methodKind(target, method)
+	if err != nil {
+		return nil, err
+	}
+	if kind == object.Write && n.Repl != nil {
+		coord, err := n.Repl.Coordinator(target)
+		if err != nil {
+			return nil, err
+		}
+		if coord != n.ID {
+			return nil, fmt.Errorf("%w: coordinator for %s is %s", ErrNotCoordinator, target, coord)
+		}
+		if err := n.Repl.CheckWrite(target); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Lock(target); err != nil {
+		return nil, err
+	}
+	inv := &invocation.Invocation{
+		Node:   n.ID,
+		Target: target,
+		Class:  class,
+		Method: method,
+		Kind:   kind,
+		Args:   args,
+		Tx:     t,
+	}
+	return n.chain.Dispatch(inv)
+}
+
+func (n *Node) methodKind(target object.ID, method string) (object.MethodKind, string, error) {
+	e, err := n.Registry.Get(target)
+	var class string
+	if err == nil {
+		class = e.Class()
+	} else if n.Repl != nil {
+		// No local replica: fetch the class through the replication service.
+		remote, _, lerr := n.Repl.Lookup(target)
+		if lerr != nil {
+			return 0, "", fmt.Errorf("node %s: resolve %s: %w", n.ID, target, lerr)
+		}
+		class = remote.Class()
+	} else {
+		return 0, "", err
+	}
+	schema, err := n.Registry.Schema(class)
+	if err != nil {
+		return 0, "", err
+	}
+	spec, err := schema.Method(method)
+	if err != nil {
+		return 0, "", err
+	}
+	return spec.Kind, class, nil
+}
+
+// Create materialises a new replicated entity in its own transaction,
+// validating the class's hard invariants (constructors are constrained by
+// invariants, §2.3.1). With replication disabled the entity is local.
+func (n *Node) Create(class string, id object.ID, attrs object.State, info replication.Info) error {
+	t := n.Begin()
+	if err := n.CreateTx(t, class, id, attrs, info); err != nil {
+		_ = t.Rollback()
+		return err
+	}
+	return t.Commit()
+}
+
+// CreateTx materialises a new entity within an existing transaction.
+func (n *Node) CreateTx(t *tx.Tx, class string, id object.ID, attrs object.State, info replication.Info) error {
+	e := object.New(class, id, attrs)
+	if err := t.Lock(id); err != nil {
+		return err
+	}
+	if n.Repl != nil {
+		if err := n.Repl.Create(t, e, info); err != nil {
+			return err
+		}
+	} else {
+		if err := n.Registry.Add(e); err != nil {
+			return err
+		}
+		t.RecordCreate(n.Registry, id)
+	}
+	if n.CCM != nil {
+		if err := n.CCM.ValidateNew(t, e); err != nil {
+			return err
+		}
+	}
+	n.cmp.mark(t, id, false)
+	return nil
+}
+
+// Delete removes an entity in its own transaction.
+func (n *Node) Delete(id object.ID) error {
+	t := n.Begin()
+	if err := n.DeleteTx(t, id); err != nil {
+		_ = t.Rollback()
+		return err
+	}
+	return t.Commit()
+}
+
+// DeleteTx removes an entity within an existing transaction.
+func (n *Node) DeleteTx(t *tx.Tx, id object.ID) error {
+	if err := t.Lock(id); err != nil {
+		return err
+	}
+	n.cmp.mark(t, id, true)
+	if n.Repl != nil {
+		return n.Repl.Delete(t, id)
+	}
+	e, err := n.Registry.Get(id)
+	if err != nil {
+		return err
+	}
+	if err := n.Registry.Remove(id); err != nil {
+		return err
+	}
+	t.RecordDelete(n.Registry, e)
+	return nil
+}
+
+// GMS returns the group membership service the node is attached to.
+func (n *Node) GMS() *group.Membership { return n.gms }
+
+// Mode returns the node's major system state.
+func (n *Node) Mode() core.Mode {
+	if n.CCM != nil {
+		return n.CCM.Mode()
+	}
+	if n.gms.Degraded(n.ID) {
+		return core.Degraded
+	}
+	return core.Healthy
+}
+
+// Cluster wires several uniformly configured nodes over one network.
+type Cluster struct {
+	Net   *transport.Network
+	GMS   *group.Membership
+	Nodes []*Node
+
+	byID map[transport.NodeID]*Node
+}
+
+// ClusterOption tweaks the per-node options.
+type ClusterOption func(*Options)
+
+// NewCluster creates size nodes named n1..nN on a fresh network.
+func NewCluster(size int, netOpts []transport.Option, opts ...ClusterOption) (*Cluster, error) {
+	net := transport.NewNetwork(netOpts...)
+	ids := make([]transport.NodeID, size)
+	for i := 0; i < size; i++ {
+		ids[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+		if err := net.Join(ids[i]); err != nil {
+			return nil, err
+		}
+	}
+	gms := group.NewMembership(net)
+	c := &Cluster{Net: net, GMS: gms, byID: make(map[transport.NodeID]*Node, size)}
+	for _, id := range ids {
+		o := Options{ID: id, Net: net, GMS: gms}
+		for _, fn := range opts {
+			fn(&o)
+		}
+		o.ID, o.Net, o.GMS = id, net, gms // per-node identity is fixed
+		nd, err := New(o)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, nd)
+		c.byID[id] = nd
+	}
+	return c, nil
+}
+
+// Node returns the i-th node (0-based).
+func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// ByID returns a node by its ID.
+func (c *Cluster) ByID(id transport.NodeID) *Node { return c.byID[id] }
+
+// IDs returns all node IDs in order.
+func (c *Cluster) IDs() []transport.NodeID {
+	ids := make([]transport.NodeID, len(c.Nodes))
+	for i, n := range c.Nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// AllReplicas is a convenience Info placing an object on every node with the
+// given home.
+func (c *Cluster) AllReplicas(home transport.NodeID) replication.Info {
+	return replication.Info{Home: home, Replicas: c.IDs()}
+}
+
+// Partition splits the network.
+func (c *Cluster) Partition(groups ...[]transport.NodeID) { c.Net.Partition(groups...) }
+
+// Heal repairs all partitions.
+func (c *Cluster) Heal() { c.Net.Heal() }

@@ -1,0 +1,366 @@
+// Package object provides the data model of a DeDiSys distributed object
+// system: attribute-based entities with monotonically increasing versions,
+// per-class schemas with method tables, and a per-node object registry.
+//
+// Entities deliberately store their state in an attribute map rather than in
+// struct fields. This mirrors the role of EJB entity beans with container
+// managed persistence in the original prototype: the middleware (replication,
+// undo logging, reconciliation) can snapshot, transfer, and restore entity
+// state generically, while applications interact through registered methods.
+package object
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID uniquely identifies a logical object across the whole system. All
+// replicas of one logical entity share the same ID.
+type ID string
+
+// Common errors returned by the object layer.
+var (
+	// ErrNotFound reports that no entity with the requested ID is registered.
+	ErrNotFound = errors.New("object: entity not found")
+	// ErrNoSuchMethod reports that a class schema has no method of that name.
+	ErrNoSuchMethod = errors.New("object: no such method")
+	// ErrNoSuchClass reports that no schema is registered for a class.
+	ErrNoSuchClass = errors.New("object: no such class")
+	// ErrDuplicate reports an attempt to register an already registered entity.
+	ErrDuplicate = errors.New("object: duplicate entity")
+	// ErrNoSuchAttribute reports access to an attribute absent from the entity.
+	ErrNoSuchAttribute = errors.New("object: no such attribute")
+)
+
+// State is a snapshot of an entity's attributes. Values are restricted to
+// JSON-representable scalars plus []ID references so that snapshots can be
+// serialized for replication and persistence.
+type State map[string]any
+
+// Clone returns a deep copy of the state. Reference slices are copied.
+func (s State) Clone() State {
+	if s == nil {
+		return nil
+	}
+	out := make(State, len(s))
+	for k, v := range s {
+		switch vv := v.(type) {
+		case []ID:
+			cp := make([]ID, len(vv))
+			copy(cp, vv)
+			out[k] = cp
+		case []string:
+			cp := make([]string, len(vv))
+			copy(cp, vv)
+			out[k] = cp
+		default:
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Entity is one replica of a logical object. An Entity is not safe for
+// concurrent use by itself; the transaction layer serialises access through
+// object locks.
+type Entity struct {
+	id      ID
+	class   string
+	version int64
+	attrs   State
+}
+
+// New creates an entity of the given class with initial attributes.
+// The initial version is 1 so that "unreplicated/unknown" can use zero.
+func New(class string, id ID, attrs State) *Entity {
+	return &Entity{id: id, class: class, version: 1, attrs: attrs.Clone()}
+}
+
+// ID returns the logical object identifier.
+func (e *Entity) ID() ID { return e.id }
+
+// Class returns the entity's class name.
+func (e *Entity) Class() string { return e.class }
+
+// Version returns the entity's update counter. Every successful attribute
+// mutation increments it by one.
+func (e *Entity) Version() int64 { return e.version }
+
+// Get returns the named attribute value.
+func (e *Entity) Get(name string) (any, error) {
+	v, ok := e.attrs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchAttribute, e.class, name)
+	}
+	return v, nil
+}
+
+// MustGet returns the named attribute or nil if absent. It is a convenience
+// for constraint code that treats missing attributes as zero values.
+func (e *Entity) MustGet(name string) any { return e.attrs[name] }
+
+// GetString returns a string attribute, or "" if absent or non-string.
+func (e *Entity) GetString(name string) string {
+	s, _ := e.attrs[name].(string)
+	return s
+}
+
+// GetInt returns an integer attribute, accepting int, int64 and float64
+// representations (the latter appears after JSON round trips).
+func (e *Entity) GetInt(name string) int64 {
+	switch v := e.attrs[name].(type) {
+	case int:
+		return int64(v)
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	default:
+		return 0
+	}
+}
+
+// GetRef returns an object reference attribute, or "" if absent.
+func (e *Entity) GetRef(name string) ID {
+	switch v := e.attrs[name].(type) {
+	case ID:
+		return v
+	case string:
+		return ID(v)
+	default:
+		return ""
+	}
+}
+
+// Set updates one attribute and bumps the version.
+func (e *Entity) Set(name string, value any) {
+	e.attrs[name] = value
+	e.version++
+}
+
+// AttrNames returns the sorted attribute names, mainly for deterministic
+// iteration in tests and diagnostics.
+func (e *Entity) AttrNames() []string {
+	names := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a deep copy of the entity's attributes.
+func (e *Entity) Snapshot() State { return e.attrs.Clone() }
+
+// Restore replaces the entity's attributes and version, used by undo logging
+// and replica state transfer.
+func (e *Entity) Restore(s State, version int64) {
+	e.attrs = s.Clone()
+	e.version = version
+}
+
+// ApplyState overwrites attributes with s but, unlike Restore, keeps the
+// larger of the current and supplied version. Used when applying propagated
+// updates that may arrive out of order during reconciliation.
+func (e *Entity) ApplyState(s State, version int64) {
+	e.attrs = s.Clone()
+	if version > e.version {
+		e.version = version
+	}
+}
+
+// Clone returns an independent copy of the entity (same ID and class).
+func (e *Entity) Clone() *Entity {
+	return &Entity{id: e.id, class: e.class, version: e.version, attrs: e.attrs.Clone()}
+}
+
+// MethodKind classifies methods for the replication layer: write methods
+// trigger update propagation, read methods may execute on any replica.
+type MethodKind int
+
+// Method kinds. Per the EJB-style convention of the paper, methods whose
+// names start with "Set" are writes; schemas may override explicitly.
+const (
+	Read MethodKind = iota + 1
+	Write
+)
+
+// Method is the implementation of one business method. It runs with the
+// entity's lock held by the surrounding transaction.
+type Method func(e *Entity, args []any) (any, error)
+
+// MethodSpec describes one method of a class.
+type MethodSpec struct {
+	Name string
+	Kind MethodKind
+	Fn   Method
+}
+
+// Schema describes a class: its name and the method table.
+type Schema struct {
+	Class   string
+	methods map[string]MethodSpec
+}
+
+// NewSchema creates an empty schema for a class.
+func NewSchema(class string) *Schema {
+	return &Schema{Class: class, methods: make(map[string]MethodSpec)}
+}
+
+// Define registers a method. Kind defaults from the name: a "Set" or "Add"
+// or "Remove" prefix means Write, everything else Read.
+func (s *Schema) Define(name string, fn Method) *Schema {
+	kind := Read
+	if isWriteName(name) {
+		kind = Write
+	}
+	s.methods[name] = MethodSpec{Name: name, Kind: kind, Fn: fn}
+	return s
+}
+
+// DefineKind registers a method with an explicit kind, overriding the naming
+// convention (e.g. the paper's "empty method" that is treated as a write to
+// be on the safe side).
+func (s *Schema) DefineKind(name string, kind MethodKind, fn Method) *Schema {
+	s.methods[name] = MethodSpec{Name: name, Kind: kind, Fn: fn}
+	return s
+}
+
+// Method looks up a method spec by name.
+func (s *Schema) Method(name string) (MethodSpec, error) {
+	m, ok := s.methods[name]
+	if !ok {
+		return MethodSpec{}, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, s.Class, name)
+	}
+	return m, nil
+}
+
+// MethodNames returns the sorted method names of the schema.
+func (s *Schema) MethodNames() []string {
+	names := make([]string, 0, len(s.methods))
+	for k := range s.methods {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func isWriteName(name string) bool {
+	for _, prefix := range [...]string{"Set", "Add", "Remove", "Sell", "Cancel", "Book"} {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry holds the entities materialised on one node together with the
+// class schemas. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	schemas  map[string]*Schema
+	entities map[ID]*Entity
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		schemas:  make(map[string]*Schema),
+		entities: make(map[ID]*Entity),
+	}
+}
+
+// RegisterSchema installs a class schema. Re-registering a class replaces it.
+func (r *Registry) RegisterSchema(s *Schema) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.schemas[s.Class] = s
+}
+
+// Schema returns the schema for a class.
+func (r *Registry) Schema(class string) (*Schema, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.schemas[class]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchClass, class)
+	}
+	return s, nil
+}
+
+// Add materialises an entity on this node.
+func (r *Registry) Add(e *Entity) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entities[e.ID()]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, e.ID())
+	}
+	r.entities[e.ID()] = e
+	return nil
+}
+
+// Get returns the entity with the given ID.
+func (r *Registry) Get(id ID) (*Entity, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entities[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return e, nil
+}
+
+// Remove deletes the entity with the given ID.
+func (r *Registry) Remove(id ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entities[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(r.entities, id)
+	return nil
+}
+
+// Has reports whether the entity is materialised on this node.
+func (r *Registry) Has(id ID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entities[id]
+	return ok
+}
+
+// OfClass returns all entities of a class, sorted by ID. This backs
+// query-style constraints whose validation starts from a set of objects.
+func (r *Registry) OfClass(class string) []*Entity {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Entity
+	for _, e := range r.entities {
+		if e.Class() == class {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Len returns the number of materialised entities.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entities)
+}
+
+// IDs returns all materialised entity IDs, sorted.
+func (r *Registry) IDs() []ID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]ID, 0, len(r.entities))
+	for id := range r.entities {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,170 @@
+// Package persistence provides the per-node persistent store of Figure 4.1,
+// replacing the prototype's MySQL database. It stores JSON-encoded records
+// in named tables and charges a configurable synchronous write cost so that
+// the evaluation reproduces the shape of database-bound operations
+// (persisting consistency threats, replica metadata, and state history).
+package persistence
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotFound reports a missing record.
+var ErrNotFound = errors.New("persistence: record not found")
+
+// Stats counts store operations.
+type Stats struct {
+	Reads  int64
+	Writes int64 // puts and deletes
+}
+
+// CostModel simulates the latency of synchronous database access.
+type CostModel struct {
+	// PerWrite is charged on every Put and Delete.
+	PerWrite time.Duration
+	// PerRead is charged on every Get and List.
+	PerRead time.Duration
+}
+
+// Store is a node-local persistent store. It is safe for concurrent use.
+type Store struct {
+	cost CostModel
+
+	mu     sync.RWMutex
+	tables map[string]map[string][]byte
+
+	reads  atomic.Int64
+	writes atomic.Int64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithCost installs the latency cost model.
+func WithCost(c CostModel) Option {
+	return func(s *Store) { s.cost = c }
+}
+
+// NewStore creates an empty store.
+func NewStore(opts ...Option) *Store {
+	s := &Store{tables: make(map[string]map[string][]byte)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Put stores the JSON encoding of v under (table, key).
+func (s *Store) Put(table, key string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("persistence: encode %s/%s: %w", table, key, err)
+	}
+	charge(s.cost.PerWrite)
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		t = make(map[string][]byte)
+		s.tables[table] = t
+	}
+	t[key] = data
+	return nil
+}
+
+// Get decodes the record at (table, key) into out.
+func (s *Store) Get(table, key string, out any) error {
+	charge(s.cost.PerRead)
+	s.reads.Add(1)
+	s.mu.RLock()
+	data, ok := s.tables[table][key]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, table, key)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("persistence: decode %s/%s: %w", table, key, err)
+	}
+	return nil
+}
+
+// Has reports whether a record exists without decoding it.
+func (s *Store) Has(table, key string) bool {
+	charge(s.cost.PerRead)
+	s.reads.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tables[table][key]
+	return ok
+}
+
+// Delete removes the record at (table, key). Deleting a missing record is
+// not an error.
+func (s *Store) Delete(table, key string) {
+	charge(s.cost.PerWrite)
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables[table], key)
+}
+
+// Keys returns the sorted keys of a table.
+func (s *Store) Keys(table string) []string {
+	charge(s.cost.PerRead)
+	s.reads.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.tables[table]))
+	for k := range s.tables[table] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of records in a table.
+func (s *Store) Len(table string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables[table])
+}
+
+// DropTable removes a whole table.
+func (s *Store) DropTable(table string) {
+	charge(s.cost.PerWrite)
+	s.writes.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, table)
+}
+
+// Stats returns the operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{Reads: s.reads.Load(), Writes: s.writes.Load()}
+}
+
+// ResetStats zeroes the operation counters.
+func (s *Store) ResetStats() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+}
+
+func charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

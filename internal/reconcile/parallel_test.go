@@ -1,0 +1,76 @@
+package reconcile
+
+import (
+	"testing"
+	"time"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+// TestBusinessOperationsDuringReconciliation demonstrates §3.3/§5.2: it is
+// not feasible to block the system for business operations until the whole
+// reconciliation process is finished — operations on unthreatened objects
+// continue in parallel while the reconciliation handler is still working.
+func TestBusinessOperationsDuringReconciliation(t *testing.T) {
+	c := setupFlightScenario(t, constraint.ReconciliationInstructions{})
+	n1 := c.Node(0)
+	// A second, unthreatened flight.
+	if err := n1.Create("Flight", "f2", object.State{"seats": int64(100), "sold": int64(0)}, c.AllReplicas("n1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Heal()
+
+	handlerEntered := make(chan struct{})
+	releaseHandler := make(chan struct{})
+	reconcileDone := make(chan error, 1)
+
+	go func() {
+		_, err := Run(n1, []transport.NodeID{"n2"}, Handlers{
+			ReplicaResolver: mergeSold,
+			ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
+				close(handlerEntered)
+				<-releaseHandler // a human operator taking their time (§4.4)
+				e, err := n1.Registry.Get(th.ContextID)
+				if err != nil {
+					return false
+				}
+				if excess := e.GetInt("sold") - e.GetInt("seats"); excess > 0 {
+					if _, err := n1.Invoke(th.ContextID, "Rebook", excess); err != nil {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		reconcileDone <- err
+	}()
+
+	select {
+	case <-handlerEntered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reconciliation never reached the handler")
+	}
+
+	// Reconciliation is mid-flight; business on the unthreatened flight
+	// must proceed.
+	for i := 0; i < 5; i++ {
+		if _, err := n1.Invoke("f2", "SellTickets", int64(1)); err != nil {
+			t.Fatalf("parallel business op %d: %v", i, err)
+		}
+	}
+	e2, _ := n1.Registry.Get("f2")
+	if e2.GetInt("sold") != 5 {
+		t.Fatalf("parallel sales = %d", e2.GetInt("sold"))
+	}
+
+	close(releaseHandler)
+	if err := <-reconcileDone; err != nil {
+		t.Fatal(err)
+	}
+	if n1.Threats.Len() != 0 {
+		t.Fatalf("threats left = %d", n1.Threats.Len())
+	}
+}

@@ -1,0 +1,145 @@
+// Package reconcile orchestrates the reconciliation phase of §4.4 and
+// Figure 4.6: after a view change re-unites partitions, the replication
+// service first propagates missed updates and resolves write-write replica
+// conflicts through the application's replica consistency handler; once a
+// replica-consistent state is re-established, the constraint consistency
+// manager re-evaluates accepted consistency threats and drives the
+// application's constraint reconciliation handler.
+//
+// The two phases are deliberately separated (§5.2): replica consistency is
+// re-established without waiting for the — possibly deferred — constraint
+// clean-up, and conflict details from the first phase feed the second.
+package reconcile
+
+import (
+	"fmt"
+	"time"
+
+	"dedisys/internal/core"
+	"dedisys/internal/group"
+	"dedisys/internal/node"
+	"dedisys/internal/replication"
+	"dedisys/internal/transport"
+)
+
+// Handlers are the application callbacks of the reconciliation phase.
+type Handlers struct {
+	// ReplicaResolver produces replica-consistent states for write-write
+	// conflicts; nil uses the generic most-updates rule.
+	ReplicaResolver replication.ConflictResolver
+	// ConstraintHandler cleans up violated constraints (immediate when it
+	// returns true, deferred otherwise); nil defers every violation.
+	ConstraintHandler core.ReconciliationHandler
+	// ConflictNotifier receives notifications for satisfied constraints
+	// whose threats carried the NotifyOnReplicaConflict instruction.
+	ConflictNotifier core.ConflictNotifier
+	// DropHistoryAfter clears the degraded-mode state history once
+	// reconciliation finished.
+	DropHistoryAfter bool
+}
+
+// Report summarises a full reconciliation pass with per-phase timing
+// (the two bars of Figure 5.6).
+type Report struct {
+	Replica            replication.ReconcileReport
+	Constraint         core.ThreatReport
+	ReplicaDuration    time.Duration
+	ConstraintDuration time.Duration
+}
+
+// Run performs reconciliation from the given node towards the peers that
+// re-joined its view. Typically one node per merged partition pair drives
+// the pass; pushed states and threat removals propagate to the others.
+func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
+	var report Report
+	if n.Repl == nil {
+		return report, fmt.Errorf("reconcile: node %s has no replication service", n.ID)
+	}
+
+	// Phase 1: replica reconciliation (propagate missed updates, resolve
+	// write-write conflicts via the replica consistency handler).
+	start := time.Now()
+	replicaReport, err := n.Repl.ReconcileWith(peers, h.ReplicaResolver)
+	report.Replica = replicaReport
+	if err != nil {
+		report.ReplicaDuration = time.Since(start)
+		return report, fmt.Errorf("reconcile: replica phase: %w", err)
+	}
+	// Missed updates include the consistency threats recorded during the
+	// degraded period (§5.2); shipping them — in both directions — is part
+	// of this phase's cost.
+	if n.CCM != nil {
+		if _, err := n.CCM.PropagateThreats(peers); err != nil {
+			report.ReplicaDuration = time.Since(start)
+			return report, fmt.Errorf("reconcile: threat propagation: %w", err)
+		}
+		if _, err := n.CCM.PullThreats(peers); err != nil {
+			report.ReplicaDuration = time.Since(start)
+			return report, fmt.Errorf("reconcile: threat pull: %w", err)
+		}
+	}
+	// Naming bindings created in other partitions are synchronised as part
+	// of the missed-update propagation.
+	if n.Naming != nil {
+		for _, peer := range peers {
+			if err := n.Naming.SyncWith(peer); err != nil {
+				continue // peer unreachable again; next pass catches up
+			}
+		}
+	}
+	report.ReplicaDuration = time.Since(start)
+
+	// Phase 2: constraint reconciliation (re-evaluate accepted threats).
+	if n.CCM != nil {
+		n.CCM.SetReconciliationHandler(h.ConstraintHandler)
+		n.CCM.SetConflictNotifier(h.ConflictNotifier)
+		n.CCM.NoteReplicaConflicts(replicaReport.ConflictIDs)
+		start = time.Now()
+		threatReport, err := n.CCM.ReconcileThreats()
+		report.Constraint = threatReport
+		report.ConstraintDuration = time.Since(start)
+		n.CCM.ClearReplicaConflicts()
+		if err != nil {
+			return report, fmt.Errorf("reconcile: constraint phase: %w", err)
+		}
+	}
+
+	if h.DropHistoryAfter {
+		n.Repl.ClearHistory()
+	}
+	return report, nil
+}
+
+// Auto arranges for reconciliation to run automatically whenever new nodes
+// join this node's view (the GMS notification of Figure 4.6). The onDone
+// callback receives each pass's report; errors are delivered through it as
+// well so the caller decides how to surface them.
+func Auto(n *node.Node, h Handlers, onDone func(Report, error)) {
+	n.GMS().OnViewChange(n.ID, func(old, nw group.View) {
+		joined := newMembers(old.Members, nw.Members, n.ID)
+		if len(joined) == 0 {
+			return
+		}
+		report, err := Run(n, joined, h)
+		if onDone != nil {
+			onDone(report, err)
+		}
+	})
+}
+
+func newMembers(old, nw []transport.NodeID, self transport.NodeID) []transport.NodeID {
+	seen := make(map[transport.NodeID]struct{}, len(old))
+	for _, id := range old {
+		seen[id] = struct{}{}
+	}
+	var joined []transport.NodeID
+	for _, id := range nw {
+		if id == self {
+			continue
+		}
+		if _, ok := seen[id]; !ok {
+			joined = append(joined, id)
+		}
+	}
+	return joined
+}

@@ -1,0 +1,97 @@
+package replication
+
+import (
+	"sync"
+	"time"
+
+	"dedisys/internal/object"
+)
+
+// RateEstimator implements the VersionedEntity semantics of §4.2.1: the
+// estimated latest version of a possibly stale object is extrapolated from
+// its healthy-mode update rate. If an object is usually updated every n
+// seconds and the last observed update happened 3n seconds ago, the
+// estimator reports three missed updates — the freshness criteria of the
+// static negotiation compare this estimate against their maximum age.
+//
+// Install it with Manager.SetEstimator(est.Estimate) and feed it from the
+// same manager via Observe (the node layer calls Observe on every applied
+// update; see Attach).
+type RateEstimator struct {
+	// Now is the clock; overridable for tests.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	stats map[object.ID]*updateStats
+}
+
+type updateStats struct {
+	lastUpdate   time.Time
+	meanInterval time.Duration
+	samples      int
+}
+
+// NewRateEstimator creates an estimator using the wall clock.
+func NewRateEstimator() *RateEstimator {
+	return &RateEstimator{Now: time.Now, stats: make(map[object.ID]*updateStats)}
+}
+
+// Observe records one applied update of the object. Call it for local
+// commits as well as for updates applied from propagation so the healthy
+// update rate is tracked on every replica.
+func (r *RateEstimator) Observe(id object.ID) {
+	now := r.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stats[id]
+	if !ok {
+		r.stats[id] = &updateStats{lastUpdate: now}
+		return
+	}
+	interval := now.Sub(st.lastUpdate)
+	st.lastUpdate = now
+	if interval <= 0 {
+		return
+	}
+	// Exponentially weighted mean interval; early samples dominate less.
+	if st.samples == 0 {
+		st.meanInterval = interval
+	} else {
+		st.meanInterval = (st.meanInterval*3 + interval) / 4
+	}
+	st.samples++
+}
+
+// Estimate implements the Estimator signature: the local version plus the
+// extrapolated number of missed updates.
+func (r *RateEstimator) Estimate(id object.ID, localVersion int64) int64 {
+	r.mu.Lock()
+	st, ok := r.stats[id]
+	if !ok || st.samples == 0 || st.meanInterval <= 0 {
+		r.mu.Unlock()
+		return localVersion
+	}
+	elapsed := r.Now().Sub(st.lastUpdate)
+	mean := st.meanInterval
+	r.mu.Unlock()
+	missed := int64(elapsed / mean)
+	if missed < 0 {
+		missed = 0
+	}
+	return localVersion + missed
+}
+
+// Forget drops an object's statistics (after deletion).
+func (r *RateEstimator) Forget(id object.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.stats, id)
+}
+
+// Attach wires the estimator into a replication manager: the manager's
+// staleness lookups use Estimate, and every state the manager applies or
+// propagates is observed.
+func (r *RateEstimator) Attach(m *Manager) {
+	m.SetEstimator(r.Estimate)
+	m.setObserver(r.Observe)
+}

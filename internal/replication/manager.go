@@ -1,0 +1,728 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/group"
+	"dedisys/internal/object"
+	"dedisys/internal/persistence"
+	"dedisys/internal/transport"
+	"dedisys/internal/tx"
+)
+
+// Message kinds used between replication managers.
+const (
+	msgCreate = "repl.create"
+	msgApply  = "repl.apply"
+	msgDelete = "repl.delete"
+	msgFetch  = "repl.fetch"
+	msgPull   = "repl.pull"
+)
+
+// Persistence tables used by the replication service.
+const (
+	tableReplicaMeta = "replica-meta"
+	tableHistory     = "replica-history"
+)
+
+type createMsg struct {
+	ID      object.ID
+	Class   string
+	State   object.State
+	Version int64
+	VV      VersionVector
+	Info    Info
+}
+
+type applyMsg struct {
+	ID      object.ID
+	State   object.State
+	Version int64
+	VV      VersionVector
+}
+
+type deleteMsg struct {
+	ID object.ID
+	VV VersionVector
+}
+
+type fetchReply struct {
+	Class   string
+	State   object.State
+	Version int64
+	Stale   bool
+}
+
+// Record is the full replica descriptor exchanged during reconciliation.
+type Record struct {
+	ID      object.ID
+	Class   string
+	State   object.State
+	Version int64
+	VV      VersionVector
+	Info    Info
+	History []HistoryEntry
+}
+
+// Estimator predicts the latest version of a possibly stale object
+// (getEstimatedLatestVersion of §4.2.1). The default assumes no missed
+// updates; applications install rate-based estimators for freshness
+// negotiation.
+type Estimator func(id object.ID, localVersion int64) int64
+
+// Config assembles a replication manager's dependencies.
+type Config struct {
+	Self     transport.NodeID
+	Net      *transport.Network
+	GMS      *group.Membership
+	Registry *object.Registry
+	Store    *persistence.Store
+	Protocol Protocol
+	// KeepHistory records intermediate states during degraded mode for
+	// rollback-based reconciliation (§4.3). Costly; see Figure 5.6.
+	KeepHistory bool
+}
+
+// Manager is the per-node replication service. It participates in
+// transactions as a tx.Resource: writes marked dirty during a transaction
+// are propagated synchronously to all reachable replicas at commit.
+type Manager struct {
+	self        transport.NodeID
+	net         *transport.Network
+	gms         *group.Membership
+	comm        *group.Comm
+	registry    *object.Registry
+	store       *persistence.Store
+	protocol    Protocol
+	keepHistory bool
+
+	mu         sync.Mutex
+	meta       map[object.ID]*replicaState
+	tombstones map[object.ID]VersionVector
+	dirty      map[int64]*txChanges
+	estimator  Estimator
+	observer   func(object.ID)
+}
+
+type replicaState struct {
+	info    Info
+	vv      VersionVector
+	history []HistoryEntry
+}
+
+type txChanges struct {
+	created map[object.ID]Info
+	deleted map[object.ID]struct{}
+	updated map[object.ID]struct{}
+	order   []object.ID // deterministic propagation order
+}
+
+var _ tx.Resource = (*Manager)(nil)
+
+// NewManager creates and wires a replication manager; it registers the
+// manager's message handlers on the network.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Protocol == nil {
+		cfg.Protocol = PrimaryPerPartition{}
+	}
+	m := &Manager{
+		self:        cfg.Self,
+		net:         cfg.Net,
+		gms:         cfg.GMS,
+		comm:        group.NewComm(cfg.Net),
+		registry:    cfg.Registry,
+		store:       cfg.Store,
+		protocol:    cfg.Protocol,
+		keepHistory: cfg.KeepHistory,
+		meta:        make(map[object.ID]*replicaState),
+		tombstones:  make(map[object.ID]VersionVector),
+		dirty:       make(map[int64]*txChanges),
+		estimator:   func(_ object.ID, v int64) int64 { return v },
+	}
+	for kind, h := range map[string]transport.Handler{
+		msgCreate: m.handleCreate,
+		msgApply:  m.handleApply,
+		msgDelete: m.handleDelete,
+		msgFetch:  m.handleFetch,
+		msgPull:   m.handlePull,
+	} {
+		if err := cfg.Net.Handle(cfg.Self, kind, h); err != nil {
+			return nil, fmt.Errorf("replication: register %s: %w", kind, err)
+		}
+	}
+	return m, nil
+}
+
+// Protocol returns the active replica-control protocol.
+func (m *Manager) Protocol() Protocol { return m.protocol }
+
+// SetEstimator installs a staleness estimator.
+func (m *Manager) SetEstimator(e Estimator) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e != nil {
+		m.estimator = e
+	}
+}
+
+// setObserver installs a callback notified of every update this replica
+// applies or propagates (used by the rate estimator).
+func (m *Manager) setObserver(fn func(object.ID)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observer = fn
+}
+
+// observe notifies the observer, if any.
+func (m *Manager) observe(id object.ID) {
+	m.mu.Lock()
+	fn := m.observer
+	m.mu.Unlock()
+	if fn != nil {
+		fn(id)
+	}
+}
+
+// SetKeepHistory toggles degraded-mode state history (used by the Figure 5.6
+// and 5.8 experiments to compare reconciliation policies).
+func (m *Manager) SetKeepHistory(keep bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.keepHistory = keep
+}
+
+// Degraded reports whether this node currently perceives the system as
+// degraded.
+func (m *Manager) Degraded() bool { return m.gms.Degraded(m.self) }
+
+// view returns this node's current view.
+func (m *Manager) view() group.View { return m.gms.ViewOf(m.self) }
+
+// Info returns the replica placement of an object.
+func (m *Manager) Info(id object.ID) (Info, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.meta[id]
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	return rs.info, nil
+}
+
+// VersionVector returns a copy of the local replica's version vector.
+func (m *Manager) VersionVector(id object.ID) (VersionVector, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.meta[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	return rs.vv.Clone(), nil
+}
+
+// History returns the recorded degraded-mode history of an object.
+func (m *Manager) History(id object.ID) []HistoryEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.meta[id]
+	if !ok {
+		return nil
+	}
+	out := make([]HistoryEntry, len(rs.history))
+	copy(out, rs.history)
+	return out
+}
+
+// ClearHistory drops all degraded-mode history (after reconciliation).
+func (m *Manager) ClearHistory() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rs := range m.meta {
+		rs.history = nil
+	}
+	m.store.DropTable(tableHistory)
+}
+
+// Coordinator returns the node that must coordinate a write on the object in
+// this node's current view.
+func (m *Manager) Coordinator(id object.ID) (transport.NodeID, error) {
+	info, err := m.Info(id)
+	if err != nil {
+		return "", err
+	}
+	return m.protocol.Coordinator(info, m.view())
+}
+
+// CheckWrite reports whether the protocol permits a write on the object from
+// this node's partition.
+func (m *Manager) CheckWrite(id object.ID) error {
+	info, err := m.Info(id)
+	if err != nil {
+		return err
+	}
+	return m.protocol.WriteAllowed(info, m.view(), m.gms.PartitionWeight(m.self))
+}
+
+// Lookup resolves an object for reading, preferring the local replica (reads
+// are always local under P4, §4.3). For objects without a local replica the
+// state is fetched from a reachable replica. The returned staleness reflects
+// the protocol's judgement in the current view.
+func (m *Manager) Lookup(id object.ID) (*object.Entity, constraint.Staleness, error) {
+	m.mu.Lock()
+	rs, known := m.meta[id]
+	var info Info
+	if known {
+		info = rs.info
+	}
+	est := m.estimator
+	m.mu.Unlock()
+	if !known {
+		return nil, constraint.Staleness{}, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	view := m.view()
+	stale := m.protocol.PossiblyStale(info, view)
+	if info.HasReplica(m.self) {
+		e, err := m.registry.Get(id)
+		if err != nil {
+			return nil, constraint.Staleness{}, fmt.Errorf("replication: local replica of %s: %w", id, err)
+		}
+		st := constraint.Staleness{PossiblyStale: stale, Version: e.Version(), EstimatedLatest: e.Version()}
+		if stale {
+			st.EstimatedLatest = est(id, e.Version())
+		}
+		return e, st, nil
+	}
+	// Remote read from the first reachable replica.
+	for _, r := range info.reachableReplicas(view) {
+		resp, err := m.comm.Send(m.self, r, msgFetch, id)
+		if err != nil {
+			continue
+		}
+		fr, ok := resp.(fetchReply)
+		if !ok {
+			continue
+		}
+		e := object.New(fr.Class, id, fr.State)
+		e.Restore(fr.State, fr.Version)
+		st := constraint.Staleness{PossiblyStale: stale || fr.Stale, Version: fr.Version, EstimatedLatest: fr.Version}
+		if st.PossiblyStale {
+			st.EstimatedLatest = est(id, fr.Version)
+		}
+		return e, st, nil
+	}
+	return nil, constraint.Staleness{}, fmt.Errorf("%w: %s", ErrNoReplica, id)
+}
+
+// HasLocalReplica reports whether this node hosts a copy of the object.
+func (m *Manager) HasLocalReplica(id object.ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.meta[id]
+	return ok && rs.info.HasReplica(m.self)
+}
+
+// Objects returns all object IDs known to this node's replication metadata.
+func (m *Manager) Objects() []object.ID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]object.ID, 0, len(m.meta))
+	for id := range m.meta {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Create materialises a new replicated entity. The creation is propagated to
+// the reachable replica nodes at transaction commit; unreachable replicas
+// catch up during reconciliation.
+func (m *Manager) Create(t *tx.Tx, e *object.Entity, info Info) error {
+	if len(info.Replicas) == 0 {
+		info.Replicas = []transport.NodeID{info.Home}
+	}
+	if info.Home == "" {
+		info.Home = m.self
+	}
+	sort.Slice(info.Replicas, func(i, j int) bool { return info.Replicas[i] < info.Replicas[j] })
+	if info.HasReplica(m.self) {
+		if err := m.registry.Add(e); err != nil {
+			return fmt.Errorf("replication: create %s: %w", e.ID(), err)
+		}
+		t.RecordCreate(m.registry, e.ID())
+	}
+	m.mu.Lock()
+	m.meta[e.ID()] = &replicaState{info: info, vv: VersionVector{m.self: 0}}
+	delete(m.tombstones, e.ID())
+	ch := m.changes(t)
+	ch.created[e.ID()] = info
+	ch.order = append(ch.order, e.ID())
+	m.mu.Unlock()
+	t.RecordUndo(func() {
+		m.mu.Lock()
+		delete(m.meta, e.ID())
+		m.mu.Unlock()
+	})
+	return nil
+}
+
+// Delete removes a replicated entity; the deletion propagates at commit.
+func (m *Manager) Delete(t *tx.Tx, id object.ID) error {
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	info := rs.info
+	vv := rs.vv.Clone()
+	delete(m.meta, id)
+	m.tombstones[id] = vv
+	ch := m.changes(t)
+	ch.deleted[id] = struct{}{}
+	ch.order = append(ch.order, id)
+	m.mu.Unlock()
+
+	if info.HasReplica(m.self) {
+		e, err := m.registry.Get(id)
+		if err != nil {
+			return fmt.Errorf("replication: delete %s: %w", id, err)
+		}
+		if err := m.registry.Remove(id); err != nil {
+			return fmt.Errorf("replication: delete %s: %w", id, err)
+		}
+		t.RecordDelete(m.registry, e)
+	}
+	t.RecordUndo(func() {
+		m.mu.Lock()
+		m.meta[id] = &replicaState{info: info, vv: vv}
+		delete(m.tombstones, id)
+		m.mu.Unlock()
+	})
+	return nil
+}
+
+// MarkDirty records that the transaction updated the object so that the new
+// state is propagated at commit.
+func (m *Manager) MarkDirty(t *tx.Tx, id object.ID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := m.changes(t)
+	if _, created := ch.created[id]; created {
+		return // creation already ships the final state
+	}
+	if _, seen := ch.updated[id]; seen {
+		return
+	}
+	ch.updated[id] = struct{}{}
+	ch.order = append(ch.order, id)
+}
+
+// changes returns the per-transaction change set; callers hold m.mu.
+func (m *Manager) changes(t *tx.Tx) *txChanges {
+	ch, ok := m.dirty[t.ID()]
+	if !ok {
+		ch = &txChanges{
+			created: make(map[object.ID]Info),
+			deleted: make(map[object.ID]struct{}),
+			updated: make(map[object.ID]struct{}),
+		}
+		m.dirty[t.ID()] = ch
+	}
+	return ch
+}
+
+// Prepare implements tx.Resource; propagation happens at commit.
+func (m *Manager) Prepare(t *tx.Tx) error { return nil }
+
+// Commit implements tx.Resource: synchronous update propagation from the
+// coordinator to all reachable replicas, persistence of replica metadata,
+// and degraded-mode history recording.
+func (m *Manager) Commit(t *tx.Tx) error {
+	m.mu.Lock()
+	ch, ok := m.dirty[t.ID()]
+	if ok {
+		delete(m.dirty, t.ID())
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	degraded := m.Degraded()
+	view := m.view()
+	var firstErr error
+	for _, id := range ch.order {
+		var err error
+		switch {
+		case containsID(ch.deleted, id):
+			err = m.propagateDelete(id, view)
+		case hasCreate(ch.created, id):
+			err = m.propagateCreate(id, ch.created[id], view, degraded)
+		default:
+			err = m.propagateUpdate(id, view, degraded)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func containsID(set map[object.ID]struct{}, id object.ID) bool {
+	_, ok := set[id]
+	return ok
+}
+
+func hasCreate(set map[object.ID]Info, id object.ID) bool {
+	_, ok := set[id]
+	return ok
+}
+
+// Rollback implements tx.Resource: discard the change set.
+func (m *Manager) Rollback(t *tx.Tx) error {
+	m.mu.Lock()
+	delete(m.dirty, t.ID())
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *Manager) propagateCreate(id object.ID, info Info, view group.View, degraded bool) error {
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return fmt.Errorf("replication: propagate create %s: %w", id, err)
+	}
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	rs.vv.Bump(m.self)
+	msg := createMsg{ID: id, Class: e.Class(), State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone(), Info: info}
+	m.mu.Unlock()
+	// Persist replica metadata: JNDI name, primary key and the serialized
+	// creation request in the prototype (§5.1); here the descriptor itself.
+	if err := m.store.Put(tableReplicaMeta, string(id), msg); err != nil {
+		return err
+	}
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(view), msgCreate, msg) {
+		_ = res // unreachable replicas catch up during reconciliation
+	}
+	return nil
+}
+
+func (m *Manager) propagateUpdate(id object.ID, view group.View, degraded bool) error {
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return fmt.Errorf("replication: propagate update %s: %w", id, err)
+	}
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	rs.vv.Bump(m.self)
+	msg := applyMsg{ID: id, State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone()}
+	info := rs.info
+	m.mu.Unlock()
+	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
+		return err
+	}
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	m.observe(id)
+	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(view), msgApply, msg) {
+		_ = res
+	}
+	return nil
+}
+
+func (m *Manager) propagateDelete(id object.ID, view group.View) error {
+	m.mu.Lock()
+	vv, ok := m.tombstones[id]
+	var infoReplicas []transport.NodeID
+	if ok {
+		// The replica set is gone from meta; send to everyone in the view.
+		infoReplicas = view.Members
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	m.store.Delete(tableReplicaMeta, string(id))
+	msg := deleteMsg{ID: id, VV: vv.Clone()}
+	for _, res := range m.comm.Multicast(m.self, infoReplicas, msgDelete, msg) {
+		_ = res
+	}
+	return nil
+}
+
+func (m *Manager) recordHistory(id object.ID, st object.State, version int64, vv VersionVector, degraded bool) {
+	if !degraded || !m.keepHistory {
+		return
+	}
+	entry := HistoryEntry{State: st, Version: version, VV: vv.Clone()}
+	m.mu.Lock()
+	if rs, ok := m.meta[id]; ok {
+		rs.history = append(rs.history, entry)
+	}
+	m.mu.Unlock()
+	_ = m.store.Put(tableHistory, fmt.Sprintf("%s#%d", id, version), entry)
+}
+
+// PropagateState force-propagates the current local replica state to all
+// reachable replicas with a freshly dominating version vector. The
+// reconciliation phase uses this to install rolled-back or repaired states
+// system-wide (§3.3).
+func (m *Manager) PropagateState(id object.ID) error {
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return fmt.Errorf("replication: propagate state %s: %w", id, err)
+	}
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	rs.vv.Bump(m.self)
+	msg := applyMsg{ID: id, State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone()}
+	info := rs.info
+	m.mu.Unlock()
+	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
+		return err
+	}
+	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(m.view()), msgApply, msg) {
+		_ = res
+	}
+	return nil
+}
+
+// --- message handlers (executed on the receiving node) ---
+
+func (m *Manager) handleCreate(from transport.NodeID, payload any) (any, error) {
+	msg, ok := payload.(createMsg)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad create payload %T", payload)
+	}
+	m.mu.Lock()
+	if existing, known := m.meta[msg.ID]; known {
+		existing.vv.Merge(msg.VV)
+		m.mu.Unlock()
+		m.applyState(msg.ID, msg.State, msg.Version)
+		return "ack", nil
+	}
+	m.meta[msg.ID] = &replicaState{info: msg.Info, vv: msg.VV.Clone()}
+	delete(m.tombstones, msg.ID)
+	m.mu.Unlock()
+	if msg.Info.HasReplica(m.self) {
+		e := object.New(msg.Class, msg.ID, nil)
+		e.Restore(msg.State, msg.Version)
+		if err := m.registry.Add(e); err != nil {
+			return nil, fmt.Errorf("replication: backup create: %w", err)
+		}
+	}
+	// Backups persist replica details too (update applied within the
+	// primary's transaction in the prototype, §4.3).
+	if err := m.store.Put(tableReplicaMeta, string(msg.ID), msg.VV); err != nil {
+		return nil, err
+	}
+	return "ack", nil
+}
+
+func (m *Manager) handleApply(from transport.NodeID, payload any) (any, error) {
+	msg, ok := payload.(applyMsg)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad apply payload %T", payload)
+	}
+	m.mu.Lock()
+	rs, known := m.meta[msg.ID]
+	if !known {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrUnknownObject, msg.ID)
+	}
+	cmp, comparable := msg.VV.Compare(rs.vv)
+	if !comparable || cmp <= 0 {
+		// Concurrent or older: ignore; reconciliation resolves conflicts.
+		m.mu.Unlock()
+		return "stale", nil
+	}
+	rs.vv = msg.VV.Clone()
+	m.mu.Unlock()
+	m.applyState(msg.ID, msg.State, msg.Version)
+	m.observe(msg.ID)
+	if err := m.store.Put(tableReplicaMeta, string(msg.ID), msg.VV); err != nil {
+		return nil, err
+	}
+	return "ack", nil
+}
+
+func (m *Manager) applyState(id object.ID, st object.State, version int64) {
+	if e, err := m.registry.Get(id); err == nil {
+		e.ApplyState(st, version)
+	}
+}
+
+func (m *Manager) handleDelete(from transport.NodeID, payload any) (any, error) {
+	msg, ok := payload.(deleteMsg)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad delete payload %T", payload)
+	}
+	m.mu.Lock()
+	_, known := m.meta[msg.ID]
+	delete(m.meta, msg.ID)
+	m.tombstones[msg.ID] = msg.VV.Clone()
+	m.mu.Unlock()
+	if known {
+		_ = m.registry.Remove(msg.ID)
+		m.store.Delete(tableReplicaMeta, string(msg.ID))
+	}
+	return "ack", nil
+}
+
+func (m *Manager) handleFetch(from transport.NodeID, payload any) (any, error) {
+	id, ok := payload.(object.ID)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad fetch payload %T", payload)
+	}
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("replication: fetch %s: %w", id, err)
+	}
+	m.mu.Lock()
+	rs, known := m.meta[id]
+	stale := known && m.protocol.PossiblyStale(rs.info, m.view())
+	m.mu.Unlock()
+	return fetchReply{Class: e.Class(), State: e.Snapshot(), Version: e.Version(), Stale: stale}, nil
+}
+
+func (m *Manager) handlePull(from transport.NodeID, payload any) (any, error) {
+	return m.Records(), nil
+}
+
+// Records exports this node's full replica table for reconciliation.
+func (m *Manager) Records() []Record {
+	m.mu.Lock()
+	ids := make([]object.ID, 0, len(m.meta))
+	for id := range m.meta {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	recs := make([]Record, 0, len(ids))
+	for _, id := range ids {
+		rs := m.meta[id]
+		rec := Record{ID: id, VV: rs.vv.Clone(), Info: rs.info}
+		rec.History = append(rec.History, rs.history...)
+		if e, err := m.registry.Get(id); err == nil {
+			rec.Class = e.Class()
+			rec.State = e.Snapshot()
+			rec.Version = e.Version()
+		}
+		recs = append(recs, rec)
+	}
+	m.mu.Unlock()
+	return recs
+}

@@ -1,0 +1,301 @@
+// Package replication implements the replication service (RS) of Figure 4.1
+// and §4.3: replica metadata with version vectors, synchronous update
+// propagation over group communication, degraded-mode state history, replica
+// staleness reporting towards the constraint consistency manager, and the
+// propagation of missed updates with write-write conflict detection for the
+// reconciliation phase (§4.4).
+//
+// Four replica-control protocols are provided:
+//
+//   - PrimaryBackup: the classic protocol; writes require the designated
+//     primary to be reachable.
+//   - PrimaryPerPartition (P4, [BBG+06]): primary-backup in a healthy
+//     system; during degraded mode every partition elects a temporary
+//     primary per object, so all partitions stay writable at the price of
+//     consistency threats.
+//   - PrimaryPartition ([RSB93]): the conventional baseline; only the
+//     majority-weight partition may write.
+//   - AdaptiveVoting ([7] in the dissertation): quorum-based writes whose
+//     quorum adapts in degraded mode; sub-quorum writes are permitted but
+//     reported stale so that the threat mechanism governs them.
+package replication
+
+import (
+	"errors"
+	"fmt"
+
+	"dedisys/internal/group"
+	"dedisys/internal/object"
+	"dedisys/internal/transport"
+)
+
+// Errors of the replication layer.
+var (
+	// ErrNoReplica reports that the object has no replica on this node and
+	// no reachable replica elsewhere.
+	ErrNoReplica = errors.New("replication: no reachable replica")
+	// ErrWriteNotAllowed reports that the protocol forbids writes in the
+	// current partition (e.g. non-primary partition under PrimaryPartition).
+	ErrWriteNotAllowed = errors.New("replication: write not allowed in this partition")
+	// ErrUnknownObject reports missing replica metadata.
+	ErrUnknownObject = errors.New("replication: unknown object")
+)
+
+// Info is the replica placement metadata of one logical object.
+type Info struct {
+	// Home is the designated primary node.
+	Home transport.NodeID `json:"home"`
+	// Replicas are all nodes hosting a copy (including Home).
+	Replicas []transport.NodeID `json:"replicas"`
+}
+
+// HasReplica reports whether a node hosts a copy.
+func (i Info) HasReplica(n transport.NodeID) bool {
+	for _, r := range i.Replicas {
+		if r == n {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableReplicas returns the replica nodes present in the view, sorted
+// (Info.Replicas and View.Members are sorted by construction).
+func (i Info) reachableReplicas(view group.View) []transport.NodeID {
+	var out []transport.NodeID
+	for _, r := range i.Replicas {
+		if view.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Protocol is a replica-control strategy.
+type Protocol interface {
+	// Name returns the protocol identifier.
+	Name() string
+	// Coordinator returns the node that must coordinate a write on the
+	// object within the given view.
+	Coordinator(info Info, view group.View) (transport.NodeID, error)
+	// WriteAllowed reports whether the protocol permits writes on the
+	// object in the given view; weight is the partition weight fraction.
+	WriteAllowed(info Info, view group.View, weight float64) error
+	// PossiblyStale reports whether local reads of the object may miss
+	// updates applied in other partitions.
+	PossiblyStale(info Info, view group.View) bool
+}
+
+// PrimaryBackup is the traditional protocol: the designated primary
+// coordinates all writes; if it is unreachable, writes block.
+type PrimaryBackup struct{}
+
+var _ Protocol = PrimaryBackup{}
+
+// Name implements Protocol.
+func (PrimaryBackup) Name() string { return "primary-backup" }
+
+// Coordinator implements Protocol.
+func (PrimaryBackup) Coordinator(info Info, view group.View) (transport.NodeID, error) {
+	if view.Contains(info.Home) {
+		return info.Home, nil
+	}
+	return "", fmt.Errorf("%w: primary %s unreachable", ErrWriteNotAllowed, info.Home)
+}
+
+// WriteAllowed implements Protocol.
+func (p PrimaryBackup) WriteAllowed(info Info, view group.View, _ float64) error {
+	_, err := p.Coordinator(info, view)
+	return err
+}
+
+// PossiblyStale implements Protocol: a read is reliable only when served
+// while the primary is reachable (backups are synchronously maintained), so
+// staleness arises exactly when the primary is outside the view.
+func (PrimaryBackup) PossiblyStale(info Info, view group.View) bool {
+	return !view.Contains(info.Home)
+}
+
+// PrimaryPerPartition is the P4 protocol (§4.3): in a healthy system it
+// equals primary-backup; in degraded mode each partition elects a temporary
+// primary per object (the smallest reachable replica node), keeping every
+// partition writable.
+type PrimaryPerPartition struct{}
+
+var _ Protocol = PrimaryPerPartition{}
+
+// Name implements Protocol.
+func (PrimaryPerPartition) Name() string { return "P4" }
+
+// Coordinator implements Protocol.
+func (PrimaryPerPartition) Coordinator(info Info, view group.View) (transport.NodeID, error) {
+	if view.Contains(info.Home) {
+		return info.Home, nil
+	}
+	reachable := info.reachableReplicas(view)
+	if len(reachable) == 0 {
+		return "", fmt.Errorf("%w: object home %s", ErrNoReplica, info.Home)
+	}
+	return reachable[0], nil
+}
+
+// WriteAllowed implements Protocol: writes are allowed wherever a replica is
+// reachable.
+func (p PrimaryPerPartition) WriteAllowed(info Info, view group.View, _ float64) error {
+	_, err := p.Coordinator(info, view)
+	return err
+}
+
+// PossiblyStale implements Protocol: under P4, objects are possibly stale in
+// every partition that does not see the full replica set, because another
+// partition may have a temporary primary of its own (§3.1).
+func (PrimaryPerPartition) PossiblyStale(info Info, view group.View) bool {
+	return len(info.reachableReplicas(view)) < len(info.Replicas)
+}
+
+// PrimaryPartition is the conventional availability baseline [RSB93]: only
+// the partition holding a strict majority of the system weight may write;
+// other partitions are read-only on possibly stale data.
+type PrimaryPartition struct{}
+
+var _ Protocol = PrimaryPartition{}
+
+// Name implements Protocol.
+func (PrimaryPartition) Name() string { return "primary-partition" }
+
+// Coordinator implements Protocol.
+func (p PrimaryPartition) Coordinator(info Info, view group.View) (transport.NodeID, error) {
+	if view.Contains(info.Home) {
+		return info.Home, nil
+	}
+	reachable := info.reachableReplicas(view)
+	if len(reachable) == 0 {
+		return "", fmt.Errorf("%w: object home %s", ErrNoReplica, info.Home)
+	}
+	return reachable[0], nil
+}
+
+// WriteAllowed implements Protocol.
+func (PrimaryPartition) WriteAllowed(info Info, view group.View, weight float64) error {
+	if weight > 0.5 {
+		return nil
+	}
+	return fmt.Errorf("%w: partition weight %.2f is not a majority", ErrWriteNotAllowed, weight)
+}
+
+// PossiblyStale implements Protocol: the primary partition is never stale;
+// minority partitions read possibly stale data.
+func (PrimaryPartition) PossiblyStale(info Info, view group.View) bool {
+	return len(info.reachableReplicas(view)) < len(info.Replicas)
+}
+
+// AdaptiveVoting is the quorum protocol whose write quorum adapts to the
+// degraded mode: with a reachable majority it behaves like a static quorum
+// protocol; in minority partitions writes remain possible but are reported
+// possibly stale so only operations with acceptable consistency threats
+// proceed (§4.3, further reading).
+type AdaptiveVoting struct{}
+
+var _ Protocol = AdaptiveVoting{}
+
+// Name implements Protocol.
+func (AdaptiveVoting) Name() string { return "adaptive-voting" }
+
+// Coordinator implements Protocol: the smallest reachable replica node
+// coordinates, regardless of the designated home.
+func (AdaptiveVoting) Coordinator(info Info, view group.View) (transport.NodeID, error) {
+	if view.Contains(info.Home) {
+		return info.Home, nil
+	}
+	reachable := info.reachableReplicas(view)
+	if len(reachable) == 0 {
+		return "", fmt.Errorf("%w: object home %s", ErrNoReplica, info.Home)
+	}
+	return reachable[0], nil
+}
+
+// WriteAllowed implements Protocol: some replica must be reachable; the
+// adaptive quorum admits sub-majority writes (they surface as threats).
+func (AdaptiveVoting) WriteAllowed(info Info, view group.View, _ float64) error {
+	if len(info.reachableReplicas(view)) == 0 {
+		return fmt.Errorf("%w: object home %s", ErrNoReplica, info.Home)
+	}
+	return nil
+}
+
+// PossiblyStale implements Protocol: reads are reliable only with a strict
+// majority read quorum of replicas reachable.
+func (AdaptiveVoting) PossiblyStale(info Info, view group.View) bool {
+	return 2*len(info.reachableReplicas(view)) <= len(info.Replicas)
+}
+
+// VersionVector counts, per coordinating node, how many committed updates an
+// object replica has absorbed. Vectors detect missed updates and write-write
+// conflicts across partitions.
+type VersionVector map[transport.NodeID]int64
+
+// Clone copies the vector.
+func (v VersionVector) Clone() VersionVector {
+	out := make(VersionVector, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Bump increments the component of the coordinating node.
+func (v VersionVector) Bump(n transport.NodeID) { v[n]++ }
+
+// Compare returns the ordering of two vectors:
+//
+//	-1 if v < o (o dominates), 0 if equal, +1 if v > o (v dominates),
+//	and ok=false when the vectors are concurrent (write-write conflict).
+func (v VersionVector) Compare(o VersionVector) (cmp int, ok bool) {
+	less, greater := false, false
+	for k, n := range v {
+		if n > o[k] {
+			greater = true
+		}
+	}
+	for k, n := range o {
+		if n > v[k] {
+			less = true
+		}
+	}
+	switch {
+	case less && greater:
+		return 0, false
+	case greater:
+		return 1, true
+	case less:
+		return -1, true
+	default:
+		return 0, true
+	}
+}
+
+// Merge takes the component-wise maximum.
+func (v VersionVector) Merge(o VersionVector) {
+	for k, n := range o {
+		if n > v[k] {
+			v[k] = n
+		}
+	}
+}
+
+// Total returns the sum of all components (the total update count).
+func (v VersionVector) Total() int64 {
+	var t int64
+	for _, n := range v {
+		t += n
+	}
+	return t
+}
+
+// HistoryEntry is one intermediate state recorded during degraded mode for
+// rollback-based reconciliation (§4.3).
+type HistoryEntry struct {
+	State   object.State  `json:"state"`
+	Version int64         `json:"version"`
+	VV      VersionVector `json:"vv"`
+}

@@ -1,0 +1,107 @@
+package replication
+
+import (
+	"testing"
+
+	"dedisys/internal/group"
+	"dedisys/internal/transport"
+)
+
+func view(members ...transport.NodeID) group.View {
+	return group.View{Members: members}
+}
+
+func threeReplicaInfo() Info {
+	return Info{Home: "n1", Replicas: []transport.NodeID{"n1", "n2", "n3"}}
+}
+
+func TestProtocolNames(t *testing.T) {
+	cases := map[string]Protocol{
+		"primary-backup":    PrimaryBackup{},
+		"P4":                PrimaryPerPartition{},
+		"primary-partition": PrimaryPartition{},
+		"adaptive-voting":   AdaptiveVoting{},
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("name = %s, want %s", p.Name(), want)
+		}
+	}
+}
+
+func TestPrimaryBackupStaleness(t *testing.T) {
+	p := PrimaryBackup{}
+	info := threeReplicaInfo()
+	if p.PossiblyStale(info, view("n1", "n2", "n3")) {
+		t.Error("healthy view stale")
+	}
+	// Primary reachable: reads reliable even if a backup is missing.
+	if p.PossiblyStale(info, view("n1", "n2")) {
+		t.Error("primary-reachable view stale")
+	}
+	// Primary gone: stale.
+	if !p.PossiblyStale(info, view("n2", "n3")) {
+		t.Error("primary-less view not stale")
+	}
+}
+
+func TestPrimaryPartitionStalenessAndCoordinator(t *testing.T) {
+	p := PrimaryPartition{}
+	info := threeReplicaInfo()
+	if p.PossiblyStale(info, view("n1", "n2", "n3")) {
+		t.Error("full view stale")
+	}
+	if !p.PossiblyStale(info, view("n2", "n3")) {
+		t.Error("partial view not stale")
+	}
+	c, err := p.Coordinator(info, view("n2", "n3"))
+	if err != nil || c != "n2" {
+		t.Errorf("coordinator = %s, %v", c, err)
+	}
+	if _, err := p.Coordinator(info, view("n9")); err == nil {
+		t.Error("coordinator without replicas")
+	}
+	if err := p.WriteAllowed(info, view("n2", "n3"), 0.5); err == nil {
+		t.Error("non-majority write allowed")
+	}
+}
+
+func TestAdaptiveVotingEdges(t *testing.T) {
+	p := AdaptiveVoting{}
+	info := threeReplicaInfo()
+	// 2 of 3 reachable: read quorum holds.
+	if p.PossiblyStale(info, view("n1", "n2")) {
+		t.Error("majority view stale")
+	}
+	// 1 of 3: below read quorum.
+	if !p.PossiblyStale(info, view("n3")) {
+		t.Error("minority view not stale")
+	}
+	if _, err := p.Coordinator(info, view("n9")); err == nil {
+		t.Error("coordinator without replicas")
+	}
+	if err := p.WriteAllowed(info, view("n9"), 1); err == nil {
+		t.Error("write without replicas allowed")
+	}
+	c, err := p.Coordinator(info, view("n2", "n3"))
+	if err != nil || c != "n2" {
+		t.Errorf("coordinator = %s, %v", c, err)
+	}
+}
+
+func TestManagerAccessors(t *testing.T) {
+	h := newHarness(t, 2, PrimaryPerPartition{})
+	mgr := h.node("n1").mgr
+	if mgr.Protocol().Name() != "P4" {
+		t.Errorf("protocol = %s", mgr.Protocol().Name())
+	}
+	h.create(t, "n1", "Flight", "f2", nil)
+	h.create(t, "n1", "Flight", "f1", nil)
+	ids := mgr.Objects()
+	if len(ids) != 2 || ids[0] != "f1" || ids[1] != "f2" {
+		t.Errorf("objects = %v", ids)
+	}
+	if !mgr.HasLocalReplica("f1") || mgr.HasLocalReplica("ghost") {
+		t.Error("HasLocalReplica wrong")
+	}
+}

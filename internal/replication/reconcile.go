@@ -1,0 +1,270 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+
+	"dedisys/internal/object"
+	"dedisys/internal/transport"
+)
+
+// Conflict describes a write-write replica conflict detected while
+// propagating missed updates (Figure 4.6): the same logical object was
+// changed in two partitions during degraded mode.
+type Conflict struct {
+	ID            object.ID
+	Class         string
+	Local, Remote object.State
+	LocalVersion  int64
+	RemoteVersion int64
+	LocalVV       VersionVector
+	RemoteVV      VersionVector
+	// Histories support rollback-style resolution when recorded.
+	LocalHistory, RemoteHistory []HistoryEntry
+}
+
+// ConflictResolver is the application-provided replica consistency handler
+// (Figure 4.6): it produces the replica-consistent state applied to all
+// nodes. Returning an error falls back to the generic rule (most updates
+// win, ties broken towards the designated home's partition ordering).
+type ConflictResolver func(c Conflict) (object.State, error)
+
+// MostUpdatesResolver is the generic fallback: the replica with the larger
+// total update count wins; ties prefer the local state.
+func MostUpdatesResolver(c Conflict) (object.State, error) {
+	if c.RemoteVV.Total() > c.LocalVV.Total() {
+		return c.Remote, nil
+	}
+	return c.Local, nil
+}
+
+// ReconcileReport summarises one replica reconciliation pass.
+type ReconcileReport struct {
+	PeersContacted int
+	Pushed         int // local states propagated to peers
+	Adopted        int // remote states adopted locally
+	Conflicts      int // write-write conflicts resolved
+	Created        int // objects first seen through a peer
+	// ConflictIDs lists the objects whose replicas conflicted; the
+	// constraint reconciliation phase uses them for NotifyOnReplicaConflict
+	// instructions (§3.3).
+	ConflictIDs []object.ID
+}
+
+// ReconcileWith propagates missed updates between this node and the given
+// peers and resolves write-write conflicts through the resolver (nil uses
+// MostUpdatesResolver). It is driven by the reconciliation orchestrator
+// after a view change re-unites partitions (§4.4).
+func (m *Manager) ReconcileWith(peers []transport.NodeID, resolve ConflictResolver) (ReconcileReport, error) {
+	if resolve == nil {
+		resolve = MostUpdatesResolver
+	}
+	var report ReconcileReport
+	for _, peer := range peers {
+		if peer == m.self {
+			continue
+		}
+		resp, err := m.comm.Send(m.self, peer, msgPull, nil)
+		if err != nil {
+			// Peer unreachable again: postpone (still degraded w.r.t. it).
+			continue
+		}
+		report.PeersContacted++
+		records, ok := resp.([]Record)
+		if !ok {
+			return report, fmt.Errorf("replication: bad pull response %T from %s", resp, peer)
+		}
+		if err := m.mergeRecords(peer, records, resolve, &report); err != nil {
+			return report, err
+		}
+		if err := m.pushMissing(peer, records, &report); err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// mergeRecords folds one peer's replica table into the local one.
+func (m *Manager) mergeRecords(peer transport.NodeID, records []Record, resolve ConflictResolver, report *ReconcileReport) error {
+	for _, rec := range records {
+		m.mu.Lock()
+		if _, dead := m.tombstones[rec.ID]; dead {
+			m.mu.Unlock()
+			// We deleted the object; re-propagate the deletion.
+			if _, err := m.comm.Send(m.self, peer, msgDelete, deleteMsg{ID: rec.ID, VV: rec.VV}); err != nil {
+				return fmt.Errorf("replication: re-propagate delete of %s: %w", rec.ID, err)
+			}
+			continue
+		}
+		rs, known := m.meta[rec.ID]
+		m.mu.Unlock()
+
+		if !known {
+			// Object created in the other partition: adopt it.
+			if _, err := m.handleCreate(peer, createFromRecord(rec)); err != nil {
+				return err
+			}
+			report.Created++
+			continue
+		}
+
+		cmp, comparable := rec.VV.Compare(m.cloneVV(rs))
+		switch {
+		case comparable && cmp > 0:
+			// Peer dominates: adopt its state.
+			m.adopt(rec)
+			report.Adopted++
+		case comparable && cmp < 0:
+			// We dominate: push our state to the peer.
+			if err := m.pushState(peer, rec.ID); err != nil {
+				return err
+			}
+			report.Pushed++
+		case comparable:
+			// Equal: already consistent.
+		default:
+			// Concurrent: write-write conflict.
+			report.Conflicts++
+			report.ConflictIDs = append(report.ConflictIDs, rec.ID)
+			if err := m.resolveConflict(rec, resolve); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Manager) cloneVV(rs *replicaState) VersionVector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return rs.vv.Clone()
+}
+
+func createFromRecord(rec Record) createMsg {
+	return createMsg{ID: rec.ID, Class: rec.Class, State: rec.State, Version: rec.Version, VV: rec.VV, Info: rec.Info}
+}
+
+// adopt overwrites the local replica with the dominating remote record.
+func (m *Manager) adopt(rec Record) {
+	m.mu.Lock()
+	if rs, ok := m.meta[rec.ID]; ok {
+		rs.vv.Merge(rec.VV)
+	}
+	m.mu.Unlock()
+	m.applyState(rec.ID, rec.State, rec.Version)
+	_ = m.store.Put(tableReplicaMeta, string(rec.ID), rec.VV)
+}
+
+// pushState sends the local replica state of the object to one peer.
+func (m *Manager) pushState(peer transport.NodeID, id object.ID) error {
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return fmt.Errorf("replication: push %s: %w", id, err)
+	}
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	msg := applyMsg{ID: id, State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone()}
+	m.mu.Unlock()
+	if _, err := m.comm.Send(m.self, peer, msgApply, msg); err != nil {
+		return fmt.Errorf("replication: push %s to %s: %w", id, peer, err)
+	}
+	return nil
+}
+
+// resolveConflict lets the application (or the generic rule) choose a state,
+// then installs it everywhere with a vector dominating both divergent lines.
+func (m *Manager) resolveConflict(rec Record, resolve ConflictResolver) error {
+	e, err := m.registry.Get(rec.ID)
+	if err != nil {
+		return fmt.Errorf("replication: conflict on %s: %w", rec.ID, err)
+	}
+	m.mu.Lock()
+	rs, ok := m.meta[rec.ID]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownObject, rec.ID)
+	}
+	conflict := Conflict{
+		ID:            rec.ID,
+		Class:         e.Class(),
+		Local:         e.Snapshot(),
+		Remote:        rec.State,
+		LocalVersion:  e.Version(),
+		RemoteVersion: rec.Version,
+		LocalVV:       rs.vv.Clone(),
+		RemoteVV:      rec.VV.Clone(),
+		LocalHistory:  append([]HistoryEntry(nil), rs.history...),
+		RemoteHistory: rec.History,
+	}
+	info := rs.info
+	m.mu.Unlock()
+
+	chosen, err := resolve(conflict)
+	if err != nil || chosen == nil {
+		chosen, _ = MostUpdatesResolver(conflict)
+	}
+
+	m.mu.Lock()
+	rs.vv.Merge(rec.VV)
+	rs.vv.Bump(m.self) // dominate both lines so the resolution propagates
+	version := maxInt64(conflict.LocalVersion, conflict.RemoteVersion) + 1
+	msg := applyMsg{ID: rec.ID, State: chosen.Clone(), Version: version, VV: rs.vv.Clone()}
+	m.mu.Unlock()
+
+	m.applyState(rec.ID, msg.State, msg.Version)
+	if err := m.store.Put(tableReplicaMeta, string(rec.ID), msg.VV); err != nil {
+		return err
+	}
+	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(m.view()), msgApply, msg) {
+		_ = res
+	}
+	return nil
+}
+
+// pushMissing creates, on the peer, objects it has never seen (created in
+// our partition during the split).
+func (m *Manager) pushMissing(peer transport.NodeID, peerRecords []Record, report *ReconcileReport) error {
+	seen := make(map[object.ID]struct{}, len(peerRecords))
+	for _, rec := range peerRecords {
+		seen[rec.ID] = struct{}{}
+	}
+	m.mu.Lock()
+	var missing []object.ID
+	for id := range m.meta {
+		if _, ok := seen[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	for _, id := range missing {
+		e, err := m.registry.Get(id)
+		if err != nil {
+			continue // no local copy to ship; the peer pulls from a replica later
+		}
+		m.mu.Lock()
+		rs, ok := m.meta[id]
+		if !ok {
+			m.mu.Unlock()
+			continue
+		}
+		msg := createMsg{ID: id, Class: e.Class(), State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone(), Info: rs.info}
+		m.mu.Unlock()
+		if _, err := m.comm.Send(m.self, peer, msgCreate, msg); err != nil {
+			return fmt.Errorf("replication: push create %s to %s: %w", id, peer, err)
+		}
+		report.Pushed++
+	}
+	return nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

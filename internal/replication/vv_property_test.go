@@ -1,0 +1,125 @@
+package replication
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dedisys/internal/transport"
+)
+
+// Property-based tests of the version vector algebra, which the whole
+// missed-update and conflict-detection machinery rests on.
+
+var vvNodes = []transport.NodeID{"a", "b", "c"}
+
+func vvGen(r *rand.Rand) VersionVector {
+	vv := VersionVector{}
+	for _, n := range vvNodes {
+		if r.Intn(2) == 0 {
+			vv[n] = int64(r.Intn(4))
+		}
+	}
+	return vv
+}
+
+func vvConfig() *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(vvGen(r))
+			}
+		},
+	}
+}
+
+func TestQuickCompareAntisymmetry(t *testing.T) {
+	f := func(a, b VersionVector) bool {
+		ab, okAB := a.Compare(b)
+		ba, okBA := b.Compare(a)
+		if okAB != okBA {
+			return false
+		}
+		if !okAB {
+			return true // both concurrent
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(f, vvConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareReflexive(t *testing.T) {
+	f := func(a VersionVector) bool {
+		cmp, ok := a.Compare(a)
+		return ok && cmp == 0
+	}
+	if err := quick.Check(f, vvConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeDominatesBoth(t *testing.T) {
+	f := func(a, b VersionVector) bool {
+		m := a.Clone()
+		m.Merge(b)
+		cmpA, okA := m.Compare(a)
+		cmpB, okB := m.Compare(b)
+		return okA && okB && cmpA >= 0 && cmpB >= 0
+	}
+	if err := quick.Check(f, vvConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeCommutativeIdempotent(t *testing.T) {
+	comm := func(a, b VersionVector) bool {
+		x := a.Clone()
+		x.Merge(b)
+		y := b.Clone()
+		y.Merge(a)
+		cmp, ok := x.Compare(y)
+		return ok && cmp == 0
+	}
+	if err := quick.Check(comm, vvConfig()); err != nil {
+		t.Fatalf("commutativity: %v", err)
+	}
+	idem := func(a VersionVector) bool {
+		x := a.Clone()
+		x.Merge(a)
+		cmp, ok := x.Compare(a)
+		return ok && cmp == 0
+	}
+	if err := quick.Check(idem, vvConfig()); err != nil {
+		t.Fatalf("idempotence: %v", err)
+	}
+}
+
+func TestQuickBumpStrictlyDominates(t *testing.T) {
+	f := func(a VersionVector) bool {
+		b := a.Clone()
+		b.Bump("a")
+		cmp, ok := b.Compare(a)
+		return ok && cmp == 1 && b.Total() == a.Total()+1
+	}
+	if err := quick.Check(f, vvConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareConsistentWithTotals(t *testing.T) {
+	// If a strictly dominates b, its total update count is at least b's.
+	f := func(a, b VersionVector) bool {
+		cmp, ok := a.Compare(b)
+		if !ok || cmp != 1 {
+			return true
+		}
+		return a.Total() >= b.Total()
+	}
+	if err := quick.Check(f, vvConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

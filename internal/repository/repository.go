@@ -1,0 +1,288 @@
+// Package repository implements the runtime constraint repository of
+// §2.1.4/§4.2.2: all constraints of an application are registered here and
+// can be queried by invoked class, method signature and constraint type.
+// Constraints can be added, removed, enabled and disabled during runtime.
+//
+// Two lookup strategies mirror the dissertation's evaluation: a linear
+// search over all registrations per query (the "non-optimized" repository)
+// and an optimized variant that caches query results in a hash table keyed
+// by (class, method, constraint type) (§2.2.1).
+package repository
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dedisys/internal/constraint"
+)
+
+// Errors returned by the repository.
+var (
+	// ErrDuplicate reports a second registration under the same name.
+	ErrDuplicate = errors.New("repository: constraint already registered")
+	// ErrNotFound reports an operation on an unregistered constraint.
+	ErrNotFound = errors.New("repository: constraint not registered")
+)
+
+// Registered pairs one constraint's metadata with its implementation and the
+// runtime enabled flag.
+type Registered struct {
+	Meta constraint.Meta
+	Impl constraint.Constraint
+
+	enabled atomic.Bool
+}
+
+// Enabled reports whether the constraint currently participates in lookups.
+func (r *Registered) Enabled() bool { return r.enabled.Load() }
+
+// Stats counts repository operations, used by the Chapter 2 and Chapter 5
+// evaluations to verify workload parity between validation approaches.
+type Stats struct {
+	Searches  int64 // LookupAffected calls
+	CacheHits int64
+	Scanned   int64 // registrations examined by linear scans
+}
+
+// Option configures a Repository.
+type Option func(*Repository)
+
+// WithCache enables the optimized lookup cache (§2.2.1). Without it every
+// lookup performs a linear scan over all registrations.
+func WithCache() Option {
+	return func(r *Repository) { r.cached = true }
+}
+
+// Repository is the runtime constraint repository. It is safe for concurrent
+// use.
+type Repository struct {
+	cached bool
+
+	mu     sync.RWMutex
+	byName map[string]*Registered
+	all    []*Registered // registration order for deterministic scans
+	cache  map[lookupKey][]*Registered
+
+	searches  atomic.Int64
+	cacheHits atomic.Int64
+	scanned   atomic.Int64
+}
+
+type lookupKey struct {
+	class  string
+	method string
+	ctype  constraint.Type
+}
+
+// New creates a repository.
+func New(opts ...Option) *Repository {
+	r := &Repository{
+		byName: make(map[string]*Registered),
+		cache:  make(map[lookupKey][]*Registered),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Cached reports whether the optimized lookup cache is active.
+func (r *Repository) Cached() bool { return r.cached }
+
+// Register adds a constraint. The constraint starts enabled.
+func (r *Repository) Register(meta constraint.Meta, impl constraint.Constraint) error {
+	if err := meta.Validate(); err != nil {
+		return err
+	}
+	if impl == nil {
+		return fmt.Errorf("repository: constraint %s has no implementation", meta.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[meta.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, meta.Name)
+	}
+	reg := &Registered{Meta: meta, Impl: impl}
+	reg.enabled.Store(true)
+	r.byName[meta.Name] = reg
+	r.all = append(r.all, reg)
+	r.invalidateLocked()
+	return nil
+}
+
+// RegisterAll adds a batch of configured constraints.
+func (r *Repository) RegisterAll(cs []constraint.Configured) error {
+	for _, c := range cs {
+		if err := r.Register(c.Meta, c.Impl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unregister removes a constraint by name.
+func (r *Repository) Unregister(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(r.byName, name)
+	for i, reg := range r.all {
+		if reg.Meta.Name == name {
+			r.all = append(r.all[:i], r.all[i+1:]...)
+			break
+		}
+	}
+	r.invalidateLocked()
+	return nil
+}
+
+// SetEnabled enables or disables a constraint at runtime (§2.1.4). Disabled
+// constraints are skipped by lookups without being removed.
+func (r *Repository) SetEnabled(name string, enabled bool) error {
+	r.mu.RLock()
+	reg, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	reg.enabled.Store(enabled)
+	// Cached result slices filter on Enabled at use time, so no invalidation
+	// is required; the cache stores registrations, not filtered views.
+	return nil
+}
+
+// Get returns a registered constraint by name.
+func (r *Repository) Get(name string) (*Registered, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reg, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return reg, nil
+}
+
+// Names returns all registered constraint names, sorted.
+func (r *Repository) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered constraints.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byName)
+}
+
+// LookupAffected returns the enabled constraints of the given type that are
+// affected by an invocation of class.method, in registration order.
+func (r *Repository) LookupAffected(class, method string, ctype constraint.Type) []*Registered {
+	r.searches.Add(1)
+	key := lookupKey{class: class, method: method, ctype: ctype}
+	if r.cached {
+		r.mu.RLock()
+		hit, ok := r.cache[key]
+		r.mu.RUnlock()
+		if ok {
+			r.cacheHits.Add(1)
+			return filterEnabled(hit)
+		}
+	}
+	r.mu.RLock()
+	var matches []*Registered
+	for _, reg := range r.all {
+		r.scanned.Add(1)
+		if reg.Meta.Type != ctype {
+			continue
+		}
+		for _, am := range reg.Meta.Affected {
+			if am.Class == class && am.Method == method {
+				matches = append(matches, reg)
+				break
+			}
+		}
+	}
+	r.mu.RUnlock()
+	if r.cached {
+		r.mu.Lock()
+		r.cache[key] = matches
+		r.mu.Unlock()
+	}
+	return filterEnabled(matches)
+}
+
+// InvariantsOfClass returns all enabled invariant constraints (hard, soft and
+// async) whose context class matches, used during reconciliation when
+// constraints are re-enabled or revalidated per context object.
+func (r *Repository) InvariantsOfClass(class string) []*Registered {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Registered
+	for _, reg := range r.all {
+		if !reg.Enabled() {
+			continue
+		}
+		switch reg.Meta.Type {
+		case constraint.HardInvariant, constraint.SoftInvariant, constraint.AsyncInvariant:
+			if reg.Meta.ContextClass == class {
+				out = append(out, reg)
+			}
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of the repository's operation counters.
+func (r *Repository) Stats() Stats {
+	return Stats{
+		Searches:  r.searches.Load(),
+		CacheHits: r.cacheHits.Load(),
+		Scanned:   r.scanned.Load(),
+	}
+}
+
+// ResetStats zeroes the operation counters.
+func (r *Repository) ResetStats() {
+	r.searches.Store(0)
+	r.cacheHits.Store(0)
+	r.scanned.Store(0)
+}
+
+func (r *Repository) invalidateLocked() {
+	if len(r.cache) > 0 {
+		r.cache = make(map[lookupKey][]*Registered)
+	}
+}
+
+func filterEnabled(regs []*Registered) []*Registered {
+	// Fast path: everything enabled (the common case) avoids allocation.
+	allEnabled := true
+	for _, reg := range regs {
+		if !reg.Enabled() {
+			allEnabled = false
+			break
+		}
+	}
+	if allEnabled {
+		return regs
+	}
+	out := make([]*Registered, 0, len(regs))
+	for _, reg := range regs {
+		if reg.Enabled() {
+			out = append(out, reg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,440 @@
+// Package script implements a DedisysTest-style scenario driver (§5.1: "in
+// order to ensure repeatability of the tests, we used the script-based
+// DedisysTest application"). Scenarios are plain-text scripts that build a
+// cluster, deploy declarative constraints, run business operations, inject
+// failures, reconcile, and assert on the resulting state — making failure
+// scenarios repeatable and reviewable.
+//
+// Script language (one command per line, '#' starts a comment):
+//
+//	cluster N [p4|primary-backup|primary-partition|adaptive-voting]
+//	constraint NAME TYPE PRIORITY MINDEGREE EXPR...
+//	    TYPE: PRE POST HARD SOFT ASYNC; PRIORITY: CRITICAL RELAXABLE;
+//	    MINDEGREE: a satisfaction degree; EXPR: declarative expression over
+//	    the Bean entity's attributes (see constraint.FromExpr)
+//	create NODE ID attr=int ...
+//	set NODE ID ATTR VALUE          business write (must succeed)
+//	fail set NODE ID ATTR VALUE     business write (must be rejected)
+//	expect NODE ID ATTR VALUE       assert an attribute value
+//	threats NODE COUNT              assert the node's stored threat count
+//	mode NODE healthy|degraded      assert the node's system mode
+//	partition G1 | G2 [| G3 ...]    split the network (nodes per group)
+//	heal                            repair all partitions
+//	crash NODE / recover NODE       node failure and recovery
+//	reconcile NODE [PEER ...]       run reconciliation (default: all others)
+//	echo TEXT...                    print
+package script
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/core"
+	"dedisys/internal/node"
+	"dedisys/internal/object"
+	"dedisys/internal/reconcile"
+	"dedisys/internal/replication"
+	"dedisys/internal/threat"
+	"dedisys/internal/transport"
+)
+
+// beanClass is the entity class scenario scripts operate on.
+const beanClass = "Bean"
+
+// ErrAssertion reports a failed expect/threats/mode/fail assertion.
+var ErrAssertion = errors.New("script: assertion failed")
+
+// Command is one parsed script line.
+type Command struct {
+	Line int
+	Op   string
+	Args []string
+}
+
+// Parse reads a script.
+func Parse(r io.Reader) ([]Command, error) {
+	var cmds []Command
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmds = append(cmds, Command{Line: lineNo, Op: fields[0], Args: fields[1:]})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("script: read: %w", err)
+	}
+	return cmds, nil
+}
+
+// Engine executes scenario scripts.
+type Engine struct {
+	Out io.Writer
+
+	cluster     *node.Cluster
+	constraints []constraint.Configured
+}
+
+// New creates an engine writing progress to out.
+func New(out io.Writer) *Engine {
+	return &Engine{Out: out}
+}
+
+// Run parses and executes a script.
+func (e *Engine) Run(r io.Reader) error {
+	cmds, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	for _, cmd := range cmds {
+		if err := e.exec(cmd); err != nil {
+			return fmt.Errorf("line %d (%s): %w", cmd.Line, cmd.Op, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) exec(cmd Command) error {
+	switch cmd.Op {
+	case "cluster":
+		return e.cmdCluster(cmd.Args)
+	case "constraint":
+		return e.cmdConstraint(cmd.Args)
+	case "create":
+		return e.cmdCreate(cmd.Args)
+	case "set":
+		return e.cmdSet(cmd.Args, false)
+	case "fail":
+		if len(cmd.Args) < 1 || cmd.Args[0] != "set" {
+			return errors.New("fail expects a 'set' command")
+		}
+		return e.cmdSet(cmd.Args[1:], true)
+	case "expect":
+		return e.cmdExpect(cmd.Args)
+	case "threats":
+		return e.cmdThreats(cmd.Args)
+	case "mode":
+		return e.cmdMode(cmd.Args)
+	case "partition":
+		return e.cmdPartition(cmd.Args)
+	case "heal":
+		e.cluster.Heal()
+		return nil
+	case "crash":
+		if len(cmd.Args) != 1 {
+			return errors.New("crash expects NODE")
+		}
+		e.cluster.Net.Crash(transport.NodeID(cmd.Args[0]))
+		return nil
+	case "recover":
+		if len(cmd.Args) != 1 {
+			return errors.New("recover expects NODE")
+		}
+		e.cluster.Net.Recover(transport.NodeID(cmd.Args[0]))
+		return nil
+	case "reconcile":
+		return e.cmdReconcile(cmd.Args)
+	case "echo":
+		fmt.Fprintln(e.Out, strings.Join(cmd.Args, " "))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd.Op)
+	}
+}
+
+func (e *Engine) needCluster() error {
+	if e.cluster == nil {
+		return errors.New("no cluster (use 'cluster N' first)")
+	}
+	return nil
+}
+
+func (e *Engine) nodeByID(id string) (*node.Node, error) {
+	if err := e.needCluster(); err != nil {
+		return nil, err
+	}
+	n := e.cluster.ByID(transport.NodeID(id))
+	if n == nil {
+		return nil, fmt.Errorf("unknown node %q", id)
+	}
+	return n, nil
+}
+
+func (e *Engine) cmdCluster(args []string) error {
+	if e.cluster != nil {
+		return errors.New("cluster already built")
+	}
+	if len(args) < 1 {
+		return errors.New("cluster expects a size")
+	}
+	size, err := strconv.Atoi(args[0])
+	if err != nil || size < 1 {
+		return fmt.Errorf("invalid cluster size %q", args[0])
+	}
+	proto := replication.Protocol(replication.PrimaryPerPartition{})
+	if len(args) > 1 {
+		switch args[1] {
+		case "p4":
+			proto = replication.PrimaryPerPartition{}
+		case "primary-backup":
+			proto = replication.PrimaryBackup{}
+		case "primary-partition":
+			proto = replication.PrimaryPartition{}
+		case "adaptive-voting":
+			proto = replication.AdaptiveVoting{}
+		default:
+			return fmt.Errorf("unknown protocol %q", args[1])
+		}
+	}
+	c, err := node.NewCluster(size, nil, func(o *node.Options) {
+		o.RepoCache = true
+		o.Protocol = proto
+		o.ThreatPolicy = threat.IdenticalOnce
+	})
+	if err != nil {
+		return err
+	}
+	schema := object.NewSchema(beanClass)
+	// "Set" alone does not match the Set<Attr> naming convention; declare
+	// its kind explicitly.
+	schema.DefineKind("Set", object.Write, func(ent *object.Entity, args []any) (any, error) {
+		attr, ok := args[0].(string)
+		if !ok {
+			return nil, fmt.Errorf("script: Set expects an attribute name")
+		}
+		ent.Set(attr, args[1])
+		return nil, nil
+	})
+	schema.Define("Get", func(ent *object.Entity, args []any) (any, error) {
+		return ent.MustGet(args[0].(string)), nil
+	})
+	for _, n := range c.Nodes {
+		n.RegisterSchema(schema)
+		if err := n.DeployConstraints(e.constraints); err != nil {
+			return err
+		}
+	}
+	e.cluster = c
+	fmt.Fprintf(e.Out, "cluster of %d nodes (%s)\n", size, proto.Name())
+	return nil
+}
+
+func (e *Engine) cmdConstraint(args []string) error {
+	if len(args) < 5 {
+		return errors.New("constraint expects NAME TYPE PRIORITY MINDEGREE EXPR")
+	}
+	ctype, err := constraint.ParseType(args[1])
+	if err != nil {
+		return err
+	}
+	prio, err := constraint.ParsePriority(args[2])
+	if err != nil {
+		return err
+	}
+	min, err := constraint.ParseDegree(args[3])
+	if err != nil {
+		return err
+	}
+	src := strings.Join(args[4:], " ")
+	impl, err := constraint.FromExpr(src)
+	if err != nil {
+		return err
+	}
+	cfg := constraint.Configured{
+		Meta: constraint.Meta{
+			Name:         args[0],
+			Type:         ctype,
+			Priority:     prio,
+			MinDegree:    min,
+			NeedsContext: true,
+			ContextClass: beanClass,
+			Description:  src,
+			Affected: []constraint.AffectedMethod{
+				{Class: beanClass, Method: "Set", Prep: constraint.CalledObjectIsContext{}},
+			},
+		},
+		Impl: impl,
+	}
+	e.constraints = append(e.constraints, cfg)
+	if e.cluster != nil {
+		for _, n := range e.cluster.Nodes {
+			if err := n.DeployConstraints([]constraint.Configured{cfg}); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintf(e.Out, "constraint %s: %s\n", args[0], src)
+	return nil
+}
+
+func (e *Engine) cmdCreate(args []string) error {
+	if len(args) < 2 {
+		return errors.New("create expects NODE ID [attr=int ...]")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	state := object.State{}
+	for _, kv := range args[2:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("invalid attribute %q", kv)
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("invalid integer %q", parts[1])
+		}
+		state[parts[0]] = v
+	}
+	return n.Create(beanClass, object.ID(args[1]), state, e.cluster.AllReplicas(n.ID))
+}
+
+func (e *Engine) cmdSet(args []string, wantFail bool) error {
+	if len(args) != 4 {
+		return errors.New("set expects NODE ID ATTR VALUE")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseInt(args[3], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid integer %q", args[3])
+	}
+	_, err = n.Invoke(object.ID(args[1]), "Set", args[2], v)
+	if wantFail {
+		if err == nil {
+			return fmt.Errorf("%w: set %s succeeded but was expected to fail", ErrAssertion, args[1])
+		}
+		fmt.Fprintf(e.Out, "rejected as expected: %v\n", err)
+		return nil
+	}
+	return err
+}
+
+func (e *Engine) cmdExpect(args []string) error {
+	if len(args) != 4 {
+		return errors.New("expect expects NODE ID ATTR VALUE")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	ent, err := n.Registry.Get(object.ID(args[1]))
+	if err != nil {
+		return err
+	}
+	want, err := strconv.ParseInt(args[3], 10, 64)
+	if err != nil {
+		return fmt.Errorf("invalid integer %q", args[3])
+	}
+	if got := ent.GetInt(args[2]); got != want {
+		return fmt.Errorf("%w: %s.%s on %s = %d, want %d", ErrAssertion, args[1], args[2], args[0], got, want)
+	}
+	return nil
+}
+
+func (e *Engine) cmdThreats(args []string) error {
+	if len(args) != 2 {
+		return errors.New("threats expects NODE COUNT")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	want, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("invalid count %q", args[1])
+	}
+	if got := n.Threats.Len(); got != want {
+		return fmt.Errorf("%w: node %s holds %d threats, want %d", ErrAssertion, args[0], got, want)
+	}
+	return nil
+}
+
+func (e *Engine) cmdMode(args []string) error {
+	if len(args) != 2 {
+		return errors.New("mode expects NODE healthy|degraded")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	want := args[1]
+	got := n.Mode()
+	var match bool
+	switch want {
+	case "healthy":
+		match = got == core.Healthy
+	case "degraded":
+		match = got == core.Degraded
+	default:
+		return fmt.Errorf("unknown mode %q", want)
+	}
+	if !match {
+		return fmt.Errorf("%w: node %s mode = %s, want %s", ErrAssertion, args[0], got, want)
+	}
+	return nil
+}
+
+func (e *Engine) cmdPartition(args []string) error {
+	if err := e.needCluster(); err != nil {
+		return err
+	}
+	var groups [][]transport.NodeID
+	var current []transport.NodeID
+	for _, a := range args {
+		if a == "|" {
+			groups = append(groups, current)
+			current = nil
+			continue
+		}
+		current = append(current, transport.NodeID(a))
+	}
+	groups = append(groups, current)
+	if len(groups) < 2 {
+		return errors.New("partition expects at least two groups separated by |")
+	}
+	e.cluster.Partition(groups...)
+	return nil
+}
+
+func (e *Engine) cmdReconcile(args []string) error {
+	if len(args) < 1 {
+		return errors.New("reconcile expects NODE [PEER ...]")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	var peers []transport.NodeID
+	if len(args) > 1 {
+		for _, p := range args[1:] {
+			peers = append(peers, transport.NodeID(p))
+		}
+	} else {
+		for _, id := range e.cluster.IDs() {
+			if id != n.ID {
+				peers = append(peers, id)
+			}
+		}
+	}
+	report, err := reconcile.Run(n, peers, reconcile.Handlers{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(e.Out, "reconciled: %d pushed, %d adopted, %d conflicts, %d threats removed, %d deferred\n",
+		report.Replica.Pushed, report.Replica.Adopted, report.Replica.Conflicts,
+		report.Constraint.Removed, report.Constraint.Deferred)
+	return nil
+}

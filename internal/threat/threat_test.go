@@ -1,0 +1,294 @@
+package threat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/object"
+	"dedisys/internal/persistence"
+)
+
+func sample(name string, ctx object.ID) Threat {
+	return Threat{
+		Constraint: name,
+		ContextID:  ctx,
+		Degree:     constraint.PossiblySatisfied,
+		Affected: []AffectedObject{
+			{ID: ctx, Class: "Flight", Staleness: constraint.Staleness{PossiblyStale: true, Version: 3, EstimatedLatest: 4}},
+		},
+		AppData: map[string]string{"note": "x"},
+		TxID:    7,
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	a := sample("C1", "f1")
+	b := sample("C1", "f1")
+	c := sample("C1", "f2")
+	d := sample("C2", "f1")
+	if a.Identity() != b.Identity() {
+		t.Fatal("identical threats differ")
+	}
+	if a.Identity() == c.Identity() || a.Identity() == d.Identity() {
+		t.Fatal("distinct threats collide")
+	}
+}
+
+func TestIdenticalOncePolicy(t *testing.T) {
+	backing := persistence.NewStore()
+	s := NewStore(backing, IdenticalOnce)
+	if s.Policy() != IdenticalOnce {
+		t.Fatalf("policy = %v", s.Policy())
+	}
+
+	first, isNew, err := s.Add(sample("C1", "f1"))
+	if err != nil || !isNew {
+		t.Fatalf("first add: %v %v", isNew, err)
+	}
+	if first.Seq != 1 || first.Count != 1 {
+		t.Fatalf("first = %+v", first)
+	}
+	writesAfterFirst := backing.Stats().Writes
+	if writesAfterFirst != 3 {
+		t.Fatalf("first add writes = %d, want 3", writesAfterFirst)
+	}
+
+	second, isNew, err := s.Add(sample("C1", "f1"))
+	if err != nil || isNew {
+		t.Fatalf("identical add: %v %v", isNew, err)
+	}
+	if second.Count != 2 || second.Seq != 1 {
+		t.Fatalf("folded = %+v", second)
+	}
+	st := backing.Stats()
+	if st.Writes != writesAfterFirst {
+		t.Fatalf("identical add wrote %d records", st.Writes-writesAfterFirst)
+	}
+	if st.Reads == 0 {
+		t.Fatal("identical add should read to detect the duplicate")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+
+	// A different context object is a distinct threat.
+	if _, isNew, err = s.Add(sample("C1", "f2")); err != nil || !isNew {
+		t.Fatalf("distinct add: %v %v", isNew, err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestFullHistoryPolicy(t *testing.T) {
+	backing := persistence.NewStore()
+	s := NewStore(backing, FullHistory)
+	if _, isNew, err := s.Add(sample("C1", "f1")); err != nil || !isNew {
+		t.Fatalf("first: %v %v", isNew, err)
+	}
+	w1 := backing.Stats().Writes
+	if w1 != 3 {
+		t.Fatalf("first add writes = %d, want 3", w1)
+	}
+	if _, isNew, err := s.Add(sample("C1", "f1")); err != nil || !isNew {
+		t.Fatalf("second: %v %v", isNew, err)
+	}
+	w2 := backing.Stats().Writes - w1
+	if w2 != 2 {
+		t.Fatalf("identical add writes = %d, want 2", w2)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.ByIdentity(sample("C1", "f1").Identity()); len(got) != 2 {
+		t.Fatalf("by identity = %d", len(got))
+	}
+	if ids := s.Identities(); len(ids) != 1 {
+		t.Fatalf("identities = %v", ids)
+	}
+}
+
+func TestRemoveIdentity(t *testing.T) {
+	s := NewStore(persistence.NewStore(), FullHistory)
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Add(sample("C1", "f1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Add(sample("C2", "f2")); err != nil {
+		t.Fatal(err)
+	}
+	removed := s.RemoveIdentity(sample("C1", "f1").Identity())
+	if removed != 3 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	all := s.All()
+	if len(all) != 1 || all[0].Constraint != "C2" {
+		t.Fatalf("remaining = %+v", all)
+	}
+}
+
+func TestRemoveSingle(t *testing.T) {
+	s := NewStore(persistence.NewStore(), FullHistory)
+	a, _, _ := s.Add(sample("C1", "f1"))
+	b, _, _ := s.Add(sample("C1", "f1"))
+	s.Remove(a.Seq)
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if got := s.ByIdentity(a.Identity()); len(got) != 1 || got[0].Seq != b.Seq {
+		t.Fatalf("remaining = %+v", got)
+	}
+	s.Remove(b.Seq)
+	if len(s.Identities()) != 0 {
+		t.Fatal("identity map not cleaned")
+	}
+	s.Remove(999) // missing is a no-op
+}
+
+func TestClear(t *testing.T) {
+	s := NewStore(persistence.NewStore(), IdenticalOnce)
+	_, _, _ = s.Add(sample("C1", "f1"))
+	s.Clear()
+	if s.Len() != 0 || len(s.All()) != 0 {
+		t.Fatal("clear incomplete")
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	s := NewStore(persistence.NewStore(), 0)
+	if s.Policy() != IdenticalOnce {
+		t.Fatalf("default policy = %v", s.Policy())
+	}
+	s.SetPolicy(FullHistory)
+	if s.Policy() != FullHistory {
+		t.Fatalf("policy after set = %v", s.Policy())
+	}
+}
+
+func negCtx(prio constraint.Priority, min, degree constraint.Degree) *NegotiationContext {
+	return &NegotiationContext{
+		Constraint: constraint.Meta{
+			Name:      "C1",
+			Type:      constraint.HardInvariant,
+			Priority:  prio,
+			MinDegree: min,
+		},
+		Degree: degree,
+	}
+}
+
+func TestNegotiateNonTradeableAlwaysRejected(t *testing.T) {
+	nc := negCtx(constraint.NonTradeable, constraint.Uncheckable, constraint.PossiblySatisfied)
+	// Even a dynamic handler must not override a non-tradeable constraint.
+	dyn := func(*NegotiationContext) Decision { return Accept }
+	if got := Negotiate(nc, dyn, 0); got != Reject {
+		t.Fatalf("non-tradeable accepted: %v", got)
+	}
+}
+
+func TestNegotiateDynamicPreferredOverStatic(t *testing.T) {
+	// Static config would accept (min uncheckable), dynamic handler rejects.
+	nc := negCtx(constraint.Tradeable, constraint.Uncheckable, constraint.PossiblySatisfied)
+	dyn := func(*NegotiationContext) Decision { return Reject }
+	if got := Negotiate(nc, dyn, 0); got != Reject {
+		t.Fatalf("dynamic not preferred: %v", got)
+	}
+	if got := Negotiate(nc, nil, 0); got != Accept {
+		t.Fatalf("static fallback: %v", got)
+	}
+}
+
+func TestNegotiateStaticMinDegree(t *testing.T) {
+	cases := []struct {
+		min, degree constraint.Degree
+		want        Decision
+	}{
+		{constraint.PossiblySatisfied, constraint.PossiblySatisfied, Accept},
+		{constraint.PossiblySatisfied, constraint.PossiblyViolated, Reject},
+		{constraint.PossiblyViolated, constraint.PossiblyViolated, Accept},
+		{constraint.PossiblyViolated, constraint.Uncheckable, Reject},
+		{constraint.Uncheckable, constraint.Uncheckable, Accept},
+	}
+	for _, c := range cases {
+		nc := negCtx(constraint.Tradeable, c.min, c.degree)
+		if got := Negotiate(nc, nil, 0); got != c.want {
+			t.Errorf("min=%v degree=%v: got %v, want %v", c.min, c.degree, got, c.want)
+		}
+	}
+}
+
+func TestNegotiateDefaultMinUsedWhenUnset(t *testing.T) {
+	nc := negCtx(constraint.Tradeable, 0, constraint.PossiblySatisfied)
+	if got := Negotiate(nc, nil, constraint.Uncheckable); got != Accept {
+		t.Fatalf("default min accept: %v", got)
+	}
+	if got := Negotiate(nc, nil, constraint.Satisfied); got != Reject {
+		t.Fatalf("default min reject: %v", got)
+	}
+	// No tolerance configured anywhere: threats are rejected.
+	if got := Negotiate(nc, nil, 0); got != Reject {
+		t.Fatalf("no-config: %v", got)
+	}
+}
+
+func TestNegotiateFreshness(t *testing.T) {
+	nc := negCtx(constraint.Tradeable, constraint.Uncheckable, constraint.PossiblySatisfied)
+	nc.Constraint.Freshness = []constraint.FreshnessCriterion{{Class: "Alarm", MaxAge: 2}}
+	nc.Affected = []AffectedObject{
+		{ID: "a1", Class: "Alarm", Staleness: constraint.Staleness{Version: 5, EstimatedLatest: 7}},
+	}
+	if got := Negotiate(nc, nil, 0); got != Accept {
+		t.Fatalf("fresh enough rejected: %v", got)
+	}
+	nc.Affected[0].Staleness.EstimatedLatest = 9 // 4 missed > maxAge 2
+	if got := Negotiate(nc, nil, 0); got != Reject {
+		t.Fatalf("too stale accepted: %v", got)
+	}
+	// Unbounded class is ignored.
+	nc.Affected[0].Class = "Other"
+	if got := Negotiate(nc, nil, 0); got != Accept {
+		t.Fatalf("unbounded class rejected: %v", got)
+	}
+}
+
+// Property: under IdenticalOnce the store size equals the number of distinct
+// identities regardless of insertion order or multiplicity.
+func TestQuickIdenticalOnceDedup(t *testing.T) {
+	f := func(picks []uint8) bool {
+		s := NewStore(persistence.NewStore(), IdenticalOnce)
+		distinct := make(map[string]struct{})
+		for _, p := range picks {
+			name := string(rune('A' + p%3))
+			ctx := object.ID(rune('x' + p%2))
+			th := sample(name, ctx)
+			distinct[th.Identity()] = struct{}{}
+			if _, _, err := s.Add(th); err != nil {
+				return false
+			}
+		}
+		return s.Len() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Accept.String() != "accept" || Reject.String() != "reject" {
+		t.Fatal("Decision strings wrong")
+	}
+	if Decision(0).String() == "" {
+		t.Fatal("unknown decision string empty")
+	}
+	if IdenticalOnce.String() != "identical-once" || FullHistory.String() != "full-history" {
+		t.Fatal("StorePolicy strings wrong")
+	}
+	if StorePolicy(0).String() == "" {
+		t.Fatal("unknown policy string empty")
+	}
+}

@@ -1,0 +1,325 @@
+// Package transport provides the simulated network substrate replacing the
+// paper's LAN + Spread toolkit: an in-process message fabric between named
+// nodes with injectable link failures (network partitions), a configurable
+// per-hop cost model, and delivery statistics.
+//
+// Delivery is synchronous (request/response), matching the synchronous
+// update propagation of the dissertation's replication protocol (§4.3).
+// Partitions are injected with Partition and repaired with Heal; topology
+// watchers (the group membership service) are notified on every change.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID names one node of the system.
+type NodeID string
+
+// Errors of the transport layer.
+var (
+	// ErrUnreachable reports that the destination is in another partition or
+	// crashed. Node failures are treated as single-node partitions (§1.1).
+	ErrUnreachable = errors.New("transport: node unreachable")
+	// ErrUnknownNode reports a message to a node that never joined.
+	ErrUnknownNode = errors.New("transport: unknown node")
+	// ErrNoHandler reports that the destination has no handler for the kind.
+	ErrNoHandler = errors.New("transport: no handler for message kind")
+)
+
+// Handler processes one request message and produces a response.
+type Handler func(from NodeID, payload any) (any, error)
+
+// Stats counts transport activity.
+type Stats struct {
+	Messages int64 // successfully delivered requests
+	Failures int64 // sends that failed with ErrUnreachable
+	Dropped  int64 // messages lost by the drop injector
+}
+
+// CostModel simulates the time cost of one network hop. The zero value costs
+// nothing (unit tests); experiments use a calibrated cost to reproduce the
+// shape of the paper's 100 Mbit LAN numbers.
+type CostModel struct {
+	// PerMessage is the fixed round-trip cost charged per delivered message.
+	PerMessage time.Duration
+}
+
+func (c CostModel) charge() {
+	if c.PerMessage > 0 {
+		busyWait(c.PerMessage)
+	}
+}
+
+// busyWait spins for very short durations (time.Sleep oversleeps by orders
+// of magnitude below ~100µs, which would distort the benchmarked ratios).
+func busyWait(d time.Duration) {
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// DropFunc decides whether one message is lost in transit (the paper's link
+// model: links "may fail by losing some messages", §1.1). Dropped messages
+// fail with ErrUnreachable at the sender, like a timed-out request.
+type DropFunc func(from, to NodeID, kind string) bool
+
+// Network is the simulated fabric. It is safe for concurrent use.
+type Network struct {
+	cost CostModel
+
+	mu       sync.RWMutex
+	nodes    map[NodeID]*endpoint
+	group    map[NodeID]int // partition index per node; all 0 when healthy
+	epoch    int64          // bumped on every topology change
+	watchers []func()
+	drop     DropFunc
+
+	messages atomic.Int64
+	failures atomic.Int64
+	dropped  atomic.Int64
+}
+
+type endpoint struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	up       bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithCost installs a per-hop cost model.
+func WithCost(c CostModel) Option {
+	return func(n *Network) { n.cost = c }
+}
+
+// NewNetwork creates an empty fabric.
+func NewNetwork(opts ...Option) *Network {
+	n := &Network{
+		nodes: make(map[NodeID]*endpoint),
+		group: make(map[NodeID]int),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Join adds a node to the fabric (initially in the common partition).
+func (n *Network) Join(id NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("transport: node %s already joined", id)
+	}
+	n.nodes[id] = &endpoint{handlers: make(map[string]Handler), up: true}
+	n.group[id] = 0
+	n.epoch++
+	n.notifyLocked()
+	return nil
+}
+
+// Nodes returns all joined node IDs, sorted.
+func (n *Network) Nodes() []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Handle registers the handler for one message kind on a node.
+func (n *Network) Handle(id NodeID, kind string, h Handler) error {
+	n.mu.RLock()
+	ep, ok := n.nodes[id]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	ep.handlers[kind] = h
+	return nil
+}
+
+// Send delivers a request from one node to another and returns the response.
+// It fails with ErrUnreachable when the nodes are in different partitions or
+// the destination is crashed.
+func (n *Network) Send(from, to NodeID, kind string, payload any) (any, error) {
+	n.mu.RLock()
+	ep, known := n.nodes[to]
+	reachable := known && n.connectedLocked(from, to)
+	n.mu.RUnlock()
+	if !known {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if !reachable {
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	n.mu.RLock()
+	drop := n.drop
+	n.mu.RUnlock()
+	if drop != nil && drop(from, to, kind) {
+		n.dropped.Add(1)
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s -> %s (message lost)", ErrUnreachable, from, to)
+	}
+	ep.mu.RLock()
+	h, ok := ep.handlers[kind]
+	ep.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on %s", ErrNoHandler, kind, to)
+	}
+	n.cost.charge()
+	n.messages.Add(1)
+	return h(from, payload)
+}
+
+// Connected reports whether two nodes can currently communicate.
+func (n *Network) Connected(a, b NodeID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.connectedLocked(a, b)
+}
+
+func (n *Network) connectedLocked(a, b NodeID) bool {
+	if a == b {
+		epA, okA := n.nodes[a]
+		return okA && epA.up
+	}
+	epA, okA := n.nodes[a]
+	epB, okB := n.nodes[b]
+	if !okA || !okB || !epA.up || !epB.up {
+		return false
+	}
+	return n.group[a] == n.group[b]
+}
+
+// ReachableFrom returns the nodes reachable from the given node (including
+// itself when up), sorted. This defines the node's current view.
+func (n *Network) ReachableFrom(id NodeID) []NodeID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []NodeID
+	for other := range n.nodes {
+		if n.connectedLocked(id, other) {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Partition splits the fabric into the given groups. Nodes not mentioned in
+// any group form one additional partition together. Crashed state of nodes
+// is unaffected.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	assigned := make(map[NodeID]bool)
+	for i, g := range groups {
+		for _, id := range g {
+			n.group[id] = i + 1
+			assigned[id] = true
+		}
+	}
+	for id := range n.nodes {
+		if !assigned[id] {
+			n.group[id] = 0
+		}
+	}
+	n.epoch++
+	n.notifyLocked()
+}
+
+// Heal repairs all link failures, reuniting every partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id := range n.group {
+		n.group[id] = 0
+	}
+	n.epoch++
+	n.notifyLocked()
+}
+
+// Crash marks a node failed (a pause-crash per §1.1): it is unreachable from
+// everyone until Recover.
+func (n *Network) Crash(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.nodes[id]; ok {
+		ep.up = false
+		n.epoch++
+		n.notifyLocked()
+	}
+}
+
+// Recover brings a crashed node back.
+func (n *Network) Recover(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.nodes[id]; ok {
+		ep.up = true
+		n.epoch++
+		n.notifyLocked()
+	}
+}
+
+// Epoch returns the topology epoch, bumped on every change.
+func (n *Network) Epoch() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.epoch
+}
+
+// Watch registers a callback invoked (synchronously, without the network
+// lock ordering guarantees beyond per-change) after every topology change.
+func (n *Network) Watch(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.watchers = append(n.watchers, fn)
+}
+
+func (n *Network) notifyLocked() {
+	watchers := make([]func(), len(n.watchers))
+	copy(watchers, n.watchers)
+	// Release the lock while notifying so watchers may query the network.
+	n.mu.Unlock()
+	for _, w := range watchers {
+		w()
+	}
+	n.mu.Lock()
+}
+
+// SetDrop installs (or clears, with nil) the message-loss injector.
+func (n *Network) SetDrop(d DropFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.drop = d
+}
+
+// Stats returns delivery counters.
+func (n *Network) Stats() Stats {
+	return Stats{Messages: n.messages.Load(), Failures: n.failures.Load(), Dropped: n.dropped.Load()}
+}
+
+// ResetStats zeroes the delivery counters.
+func (n *Network) ResetStats() {
+	n.messages.Store(0)
+	n.failures.Store(0)
+}

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newThreeNodeNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	for _, id := range []NodeID{"n1", "n2", "n3"} {
+		if err := n.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestJoinAndNodes(t *testing.T) {
+	n := newThreeNodeNet(t)
+	got := n.Nodes()
+	if len(got) != 3 || got[0] != "n1" || got[2] != "n3" {
+		t.Fatalf("Nodes = %v", got)
+	}
+	if err := n.Join("n1"); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+}
+
+func TestSendAndHandlers(t *testing.T) {
+	n := newThreeNodeNet(t)
+	if err := n.Handle("n2", "ping", func(from NodeID, payload any) (any, error) {
+		return string(from) + ":" + payload.(string), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := n.Send("n1", "n2", "ping", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "n1:hello" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if _, err := n.Send("n1", "n2", "nope", nil); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("missing handler err = %v", err)
+	}
+	if _, err := n.Send("n1", "ghost", "ping", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node err = %v", err)
+	}
+	if err := n.Handle("ghost", "ping", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Handle unknown err = %v", err)
+	}
+	st := n.Stats()
+	if st.Messages != 1 {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+}
+
+func TestPartitionBlocksTraffic(t *testing.T) {
+	n := newThreeNodeNet(t)
+	if err := n.Handle("n3", "ping", func(NodeID, any) (any, error) { return "pong", nil }); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]NodeID{"n1", "n2"}, []NodeID{"n3"})
+	if n.Connected("n1", "n3") {
+		t.Fatal("partitioned nodes connected")
+	}
+	if !n.Connected("n1", "n2") {
+		t.Fatal("same-partition nodes disconnected")
+	}
+	if _, err := n.Send("n1", "n3", "ping", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cross-partition send err = %v", err)
+	}
+	if n.Stats().Failures != 1 {
+		t.Fatalf("failures = %d", n.Stats().Failures)
+	}
+	n.Heal()
+	if !n.Connected("n1", "n3") {
+		t.Fatal("heal did not reconnect")
+	}
+	if _, err := n.Send("n1", "n3", "ping", nil); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+}
+
+func TestPartitionUnmentionedNodesShareGroupZero(t *testing.T) {
+	n := newThreeNodeNet(t)
+	n.Partition([]NodeID{"n1"})
+	if n.Connected("n1", "n2") {
+		t.Fatal("n1 should be isolated")
+	}
+	if !n.Connected("n2", "n3") {
+		t.Fatal("unmentioned nodes should stay together")
+	}
+}
+
+func TestCrashRecover(t *testing.T) {
+	n := newThreeNodeNet(t)
+	n.Crash("n2")
+	if n.Connected("n1", "n2") || n.Connected("n2", "n2") {
+		t.Fatal("crashed node still connected")
+	}
+	got := n.ReachableFrom("n1")
+	if len(got) != 2 || got[0] != "n1" || got[1] != "n3" {
+		t.Fatalf("ReachableFrom = %v", got)
+	}
+	if got := n.ReachableFrom("n2"); len(got) != 0 {
+		t.Fatalf("crashed node reach = %v", got)
+	}
+	n.Recover("n2")
+	if !n.Connected("n1", "n2") {
+		t.Fatal("recover did not reconnect")
+	}
+}
+
+func TestSelfConnectivity(t *testing.T) {
+	n := newThreeNodeNet(t)
+	if !n.Connected("n1", "n1") {
+		t.Fatal("node not connected to itself")
+	}
+	n.Partition([]NodeID{"n1"}, []NodeID{"n2", "n3"})
+	if !n.Connected("n1", "n1") {
+		t.Fatal("partitioned node not connected to itself")
+	}
+}
+
+func TestWatchersAndEpoch(t *testing.T) {
+	n := NewNetwork()
+	var mu sync.Mutex
+	calls := 0
+	n.Watch(func() {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+	})
+	e0 := n.Epoch()
+	if err := n.Join("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Join("n2"); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition([]NodeID{"n1"})
+	n.Heal()
+	n.Crash("n1")
+	n.Recover("n1")
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got != 6 {
+		t.Fatalf("watcher calls = %d, want 6", got)
+	}
+	if n.Epoch() != e0+6 {
+		t.Fatalf("epoch = %d, want %d", n.Epoch(), e0+6)
+	}
+}
+
+func TestWatcherMayQueryNetwork(t *testing.T) {
+	n := NewNetwork()
+	var reach []NodeID
+	n.Watch(func() { reach = n.ReachableFrom("n1") })
+	if err := n.Join("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Join("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(reach) != 2 {
+		t.Fatalf("watcher saw reach = %v", reach)
+	}
+}
+
+func TestCostModelCharges(t *testing.T) {
+	n := NewNetwork(WithCost(CostModel{PerMessage: 200 * time.Microsecond}))
+	if err := n.Join("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Join("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Handle("b", "ping", func(NodeID, any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const sends = 20
+	for i := 0; i < sends; i++ {
+		if _, err := n.Send("a", "b", "ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < sends*150*time.Microsecond {
+		t.Fatalf("cost model not charged: %v for %d sends", elapsed, sends)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := newThreeNodeNet(t)
+	if err := n.Handle("n2", "k", func(NodeID, any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send("n1", "n2", "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.Messages != 0 || s.Failures != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	n := newThreeNodeNet(t)
+	if err := n.Handle("n2", "k", func(NodeID, any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, _ = n.Send("n1", "n2", "k", i)
+			}
+		}()
+	}
+	// Concurrent topology churn must not race with sends.
+	for i := 0; i < 20; i++ {
+		n.Partition([]NodeID{"n1"}, []NodeID{"n2", "n3"})
+		n.Heal()
+	}
+	wg.Wait()
+}

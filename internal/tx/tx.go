@@ -1,0 +1,342 @@
+// Package tx provides the transaction substrate of the middleware
+// (the TxMgr of Figure 4.1): transactions with a two-phase commit over
+// enlisted resources, per-object locks for concurrency consistency
+// (isolation), an undo log for rollback, and the rollback-only flag used by
+// the constraint consistency manager to veto commits (§4.2.3).
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dedisys/internal/object"
+)
+
+// Errors of the transaction layer.
+var (
+	// ErrRollbackOnly reports a commit attempt on a transaction marked
+	// rollback-only; the transaction is rolled back instead.
+	ErrRollbackOnly = errors.New("tx: transaction marked rollback-only")
+	// ErrNotActive reports an operation on a completed transaction.
+	ErrNotActive = errors.New("tx: transaction not active")
+	// ErrLockTimeout reports that an object lock could not be acquired.
+	ErrLockTimeout = errors.New("tx: lock acquisition timed out")
+	// ErrPrepareFailed wraps a resource's prepare error.
+	ErrPrepareFailed = errors.New("tx: prepare failed")
+)
+
+// Status is the lifecycle state of a transaction.
+type Status int
+
+// Transaction statuses.
+const (
+	Active Status = iota + 1
+	Committed
+	RolledBack
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case RolledBack:
+		return "rolled-back"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Resource is a transactional participant in the two-phase commit, e.g. the
+// constraint consistency manager or a replication protocol.
+type Resource interface {
+	// Prepare votes on the outcome. Any error aborts the transaction.
+	Prepare(t *Tx) error
+	// Commit finalises; called only after all participants prepared.
+	Commit(t *Tx) error
+	// Rollback undoes resource-side effects of the transaction.
+	Rollback(t *Tx) error
+}
+
+// Manager creates transactions and owns the lock table. One Manager exists
+// per node.
+type Manager struct {
+	seq         atomic.Int64
+	lockTimeout time.Duration
+
+	mu        sync.Mutex
+	resources []Resource
+
+	locks *lockTable
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithLockTimeout overrides the default object-lock acquisition timeout.
+func WithLockTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.lockTimeout = d }
+}
+
+// NewManager creates a transaction manager.
+func NewManager(opts ...Option) *Manager {
+	m := &Manager{
+		lockTimeout: 2 * time.Second,
+		locks:       newLockTable(),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// RegisterResource enlists a resource in every future transaction.
+func (m *Manager) RegisterResource(r Resource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resources = append(m.resources, r)
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	global := make([]Resource, len(m.resources))
+	copy(global, m.resources)
+	m.mu.Unlock()
+	return &Tx{
+		id:        m.seq.Add(1),
+		mgr:       m,
+		status:    Active,
+		resources: global,
+		vals:      make(map[string]any),
+		held:      make(map[object.ID]struct{}),
+	}
+}
+
+// Tx is one transaction. A Tx must be driven by a single goroutine; the
+// lock table protects cross-transaction concurrency.
+type Tx struct {
+	id  int64
+	mgr *Manager
+
+	status       Status
+	rollbackOnly bool
+	rbReason     error
+
+	resources []Resource
+	vals      map[string]any
+
+	held map[object.ID]struct{}
+	undo []undoRecord
+}
+
+type undoRecord struct {
+	apply func()
+}
+
+// ID returns the transaction identifier (unique per manager).
+func (t *Tx) ID() int64 { return t.id }
+
+// Status returns the transaction status.
+func (t *Tx) Status() Status { return t.status }
+
+// Put stores a transaction-scoped value, e.g. the registered negotiation
+// handler of §3.2.1.
+func (t *Tx) Put(key string, v any) { t.vals[key] = v }
+
+// Value retrieves a transaction-scoped value.
+func (t *Tx) Value(key string) any { return t.vals[key] }
+
+// Enlist adds a per-transaction resource participant.
+func (t *Tx) Enlist(r Resource) { t.resources = append(t.resources, r) }
+
+// SetRollbackOnly marks the transaction so it can no longer commit. The
+// first reason is retained and returned from Commit.
+func (t *Tx) SetRollbackOnly(reason error) {
+	if !t.rollbackOnly {
+		t.rollbackOnly = true
+		t.rbReason = reason
+	}
+}
+
+// RollbackOnly reports whether the transaction has been vetoed.
+func (t *Tx) RollbackOnly() bool { return t.rollbackOnly }
+
+// Lock acquires the exclusive lock on an object for this transaction.
+// Locks are reentrant per transaction and released at completion.
+func (t *Tx) Lock(id object.ID) error {
+	if t.status != Active {
+		return fmt.Errorf("%w: %s", ErrNotActive, t.status)
+	}
+	if _, ok := t.held[id]; ok {
+		return nil
+	}
+	if err := t.mgr.locks.acquire(id, t.id, t.mgr.lockTimeout); err != nil {
+		return err
+	}
+	t.held[id] = struct{}{}
+	return nil
+}
+
+// HoldsLock reports whether this transaction owns the object's lock.
+func (t *Tx) HoldsLock(id object.ID) bool {
+	_, ok := t.held[id]
+	return ok
+}
+
+// RecordUpdate saves the entity's pre-state for rollback. Call before the
+// first mutation of the entity within this transaction; later calls for the
+// same entity are cheap no-ops handled by the caller keeping first-write
+// semantics (the undo log replays in reverse, so duplicates are harmless but
+// wasteful).
+func (t *Tx) RecordUpdate(e *object.Entity) {
+	state, version := e.Snapshot(), e.Version()
+	t.undo = append(t.undo, undoRecord{apply: func() { e.Restore(state, version) }})
+}
+
+// RecordCreate registers an undo that removes a created entity again.
+func (t *Tx) RecordCreate(reg *object.Registry, id object.ID) {
+	t.undo = append(t.undo, undoRecord{apply: func() { _ = reg.Remove(id) }})
+}
+
+// RecordDelete registers an undo that re-adds a deleted entity.
+func (t *Tx) RecordDelete(reg *object.Registry, e *object.Entity) {
+	t.undo = append(t.undo, undoRecord{apply: func() { _ = reg.Add(e) }})
+}
+
+// RecordUndo registers an arbitrary compensation to run on rollback.
+func (t *Tx) RecordUndo(fn func()) {
+	t.undo = append(t.undo, undoRecord{apply: fn})
+}
+
+// Commit runs the two-phase commit: prepare all resources, then commit them.
+// A prepare failure or the rollback-only flag triggers rollback and returns
+// the causing error.
+func (t *Tx) Commit() error {
+	if t.status != Active {
+		return fmt.Errorf("%w: %s", ErrNotActive, t.status)
+	}
+	if t.rollbackOnly {
+		t.rollback()
+		if t.rbReason != nil {
+			return fmt.Errorf("%w: %w", ErrRollbackOnly, t.rbReason)
+		}
+		return ErrRollbackOnly
+	}
+	for _, r := range t.resources {
+		if err := r.Prepare(t); err != nil {
+			t.rollback()
+			return fmt.Errorf("%w: %w", ErrPrepareFailed, err)
+		}
+		// Prepare may discover a veto (e.g. soft constraint violation sets
+		// rollback-only instead of erroring).
+		if t.rollbackOnly {
+			t.rollback()
+			if t.rbReason != nil {
+				return fmt.Errorf("%w: %w", ErrRollbackOnly, t.rbReason)
+			}
+			return ErrRollbackOnly
+		}
+	}
+	for _, r := range t.resources {
+		if err := r.Commit(t); err != nil {
+			// Commit errors after successful prepare indicate a middleware
+			// defect; surface them but the transaction is committed.
+			t.finish(Committed)
+			return fmt.Errorf("tx %d: commit phase: %w", t.id, err)
+		}
+	}
+	t.finish(Committed)
+	return nil
+}
+
+// Rollback aborts the transaction, undoing recorded mutations in reverse.
+func (t *Tx) Rollback() error {
+	if t.status != Active {
+		return fmt.Errorf("%w: %s", ErrNotActive, t.status)
+	}
+	t.rollback()
+	return nil
+}
+
+func (t *Tx) rollback() {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i].apply()
+	}
+	for _, r := range t.resources {
+		// Resource rollback errors cannot change the outcome; participants
+		// must tolerate re-delivery.
+		_ = r.Rollback(t)
+	}
+	t.finish(RolledBack)
+}
+
+func (t *Tx) finish(s Status) {
+	t.status = s
+	for id := range t.held {
+		t.mgr.locks.release(id, t.id)
+	}
+	t.held = make(map[object.ID]struct{})
+	t.undo = nil
+}
+
+// lockTable implements per-object exclusive locks with timeout.
+type lockTable struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	owner map[object.ID]int64
+}
+
+func newLockTable() *lockTable {
+	lt := &lockTable{owner: make(map[object.ID]int64)}
+	lt.cond = sync.NewCond(&lt.mu)
+	return lt
+}
+
+func (lt *lockTable) acquire(id object.ID, txID int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for {
+		owner, locked := lt.owner[id]
+		if !locked {
+			lt.owner[id] = txID
+			return nil
+		}
+		if owner == txID {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: object %s held by tx %d", ErrLockTimeout, id, owner)
+		}
+		// Wake periodically to re-check the deadline; broadcast on release
+		// normally wakes us first.
+		waitWithTimeout(lt.cond, 10*time.Millisecond)
+	}
+}
+
+func (lt *lockTable) release(id object.ID, txID int64) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.owner[id] == txID {
+		delete(lt.owner, id)
+		lt.cond.Broadcast()
+	}
+}
+
+// waitWithTimeout waits on cond for at most d. The caller must hold the
+// cond's lock; the lock is held again on return.
+func waitWithTimeout(cond *sync.Cond, d time.Duration) {
+	done := make(chan struct{})
+	timer := time.AfterFunc(d, func() {
+		cond.Broadcast()
+		close(done)
+	})
+	cond.Wait()
+	timer.Stop()
+}

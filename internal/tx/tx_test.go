@@ -1,0 +1,307 @@
+package tx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dedisys/internal/object"
+)
+
+type fakeResource struct {
+	prepareErr error
+	onPrepare  func(t *Tx)
+
+	prepared, committed, rolledBack int
+}
+
+func (f *fakeResource) Prepare(t *Tx) error {
+	f.prepared++
+	if f.onPrepare != nil {
+		f.onPrepare(t)
+	}
+	return f.prepareErr
+}
+func (f *fakeResource) Commit(t *Tx) error   { f.committed++; return nil }
+func (f *fakeResource) Rollback(t *Tx) error { f.rolledBack++; return nil }
+
+var _ Resource = (*fakeResource)(nil)
+
+func TestCommitHappyPath(t *testing.T) {
+	m := NewManager()
+	r := &fakeResource{}
+	m.RegisterResource(r)
+	txn := m.Begin()
+	if txn.Status() != Active {
+		t.Fatalf("status = %v", txn.Status())
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if txn.Status() != Committed {
+		t.Fatalf("status = %v", txn.Status())
+	}
+	if r.prepared != 1 || r.committed != 1 || r.rolledBack != 0 {
+		t.Fatalf("resource calls = %+v", r)
+	}
+	if err := txn.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double commit err = %v", err)
+	}
+}
+
+func TestPrepareFailureRollsBack(t *testing.T) {
+	m := NewManager()
+	boom := errors.New("boom")
+	r1 := &fakeResource{}
+	r2 := &fakeResource{prepareErr: boom}
+	m.RegisterResource(r1)
+	m.RegisterResource(r2)
+	txn := m.Begin()
+	err := txn.Commit()
+	if !errors.Is(err, ErrPrepareFailed) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if txn.Status() != RolledBack {
+		t.Fatalf("status = %v", txn.Status())
+	}
+	if r1.rolledBack != 1 || r2.rolledBack != 1 || r1.committed != 0 {
+		t.Fatalf("resource calls: r1=%+v r2=%+v", r1, r2)
+	}
+}
+
+func TestRollbackOnly(t *testing.T) {
+	m := NewManager()
+	r := &fakeResource{}
+	m.RegisterResource(r)
+	txn := m.Begin()
+	cause := errors.New("constraint violated")
+	txn.SetRollbackOnly(cause)
+	txn.SetRollbackOnly(errors.New("second reason ignored"))
+	if !txn.RollbackOnly() {
+		t.Fatal("RollbackOnly false")
+	}
+	err := txn.Commit()
+	if !errors.Is(err, ErrRollbackOnly) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v", err)
+	}
+	if r.prepared != 0 || r.rolledBack != 1 {
+		t.Fatalf("resource calls = %+v", r)
+	}
+}
+
+func TestVetoDuringPrepare(t *testing.T) {
+	m := NewManager()
+	cause := errors.New("soft constraint violated")
+	veto := &fakeResource{onPrepare: func(tx *Tx) { tx.SetRollbackOnly(cause) }}
+	after := &fakeResource{}
+	m.RegisterResource(veto)
+	m.RegisterResource(after)
+	txn := m.Begin()
+	err := txn.Commit()
+	if !errors.Is(err, ErrRollbackOnly) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v", err)
+	}
+	if after.prepared != 0 {
+		t.Fatal("prepare continued past veto")
+	}
+	if txn.Status() != RolledBack {
+		t.Fatalf("status = %v", txn.Status())
+	}
+}
+
+func TestUndoLogRestoresState(t *testing.T) {
+	m := NewManager()
+	reg := object.NewRegistry()
+	e := object.New("Flight", "f1", object.State{"sold": int64(70)})
+	if err := reg.Add(e); err != nil {
+		t.Fatal(err)
+	}
+
+	txn := m.Begin()
+	txn.RecordUpdate(e)
+	e.Set("sold", int64(77))
+	created := object.New("Flight", "f2", nil)
+	if err := reg.Add(created); err != nil {
+		t.Fatal(err)
+	}
+	txn.RecordCreate(reg, "f2")
+	if err := reg.Remove("f1"); err == nil {
+		txn.RecordDelete(reg, e)
+	}
+	compensated := false
+	txn.RecordUndo(func() { compensated = true })
+
+	if err := txn.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if e.GetInt("sold") != 70 || e.Version() != 1 {
+		t.Fatalf("update not undone: sold=%d v=%d", e.GetInt("sold"), e.Version())
+	}
+	if reg.Has("f2") {
+		t.Fatal("create not undone")
+	}
+	if !reg.Has("f1") {
+		t.Fatal("delete not undone")
+	}
+	if !compensated {
+		t.Fatal("custom undo not run")
+	}
+	if err := txn.Rollback(); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("double rollback err = %v", err)
+	}
+}
+
+func TestCommitKeepsMutations(t *testing.T) {
+	m := NewManager()
+	e := object.New("Flight", "f1", object.State{"sold": int64(70)})
+	txn := m.Begin()
+	txn.RecordUpdate(e)
+	e.Set("sold", int64(75))
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e.GetInt("sold") != 75 {
+		t.Fatalf("commit undid mutation: %d", e.GetInt("sold"))
+	}
+}
+
+func TestLockingReentrantAndExclusive(t *testing.T) {
+	m := NewManager(WithLockTimeout(50 * time.Millisecond))
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if err := t1.Lock("o1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Lock("o1"); err != nil {
+		t.Fatalf("reentrant lock failed: %v", err)
+	}
+	if !t1.HoldsLock("o1") || t2.HoldsLock("o1") {
+		t.Fatal("HoldsLock wrong")
+	}
+	if err := t2.Lock("o1"); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("conflicting lock err = %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Lock("o1"); err != nil {
+		t.Fatalf("lock after release failed: %v", err)
+	}
+	if err := t2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockBlocksUntilRelease(t *testing.T) {
+	m := NewManager(WithLockTimeout(2 * time.Second))
+	t1 := m.Begin()
+	if err := t1.Lock("o1"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	acquired := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		t2 := m.Begin()
+		acquired <- t2.Lock("o1")
+		_ = t2.Rollback()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-acquired; err != nil {
+		t.Fatalf("waiter failed: %v", err)
+	}
+	wg.Wait()
+}
+
+func TestLockOnCompletedTx(t *testing.T) {
+	m := NewManager()
+	txn := m.Begin()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Lock("o1"); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("lock on committed tx err = %v", err)
+	}
+}
+
+func TestTxScopedValues(t *testing.T) {
+	m := NewManager()
+	txn := m.Begin()
+	if got := txn.Value("nh"); got != nil {
+		t.Fatalf("unset value = %v", got)
+	}
+	txn.Put("nh", 42)
+	if got := txn.Value("nh"); got != 42 {
+		t.Fatalf("value = %v", got)
+	}
+}
+
+func TestEnlistPerTxResource(t *testing.T) {
+	m := NewManager()
+	r := &fakeResource{}
+	txn := m.Begin()
+	txn.Enlist(r)
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.prepared != 1 || r.committed != 1 {
+		t.Fatalf("enlisted resource calls = %+v", r)
+	}
+	// A second transaction must not see the per-tx resource.
+	txn2 := m.Begin()
+	if err := txn2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if r.prepared != 1 {
+		t.Fatal("per-tx resource leaked into next tx")
+	}
+}
+
+func TestTxIDsUnique(t *testing.T) {
+	m := NewManager()
+	seen := make(map[int64]bool)
+	for i := 0; i < 100; i++ {
+		txn := m.Begin()
+		if seen[txn.ID()] {
+			t.Fatalf("duplicate tx id %d", txn.ID())
+		}
+		seen[txn.ID()] = true
+		_ = txn.Rollback()
+	}
+}
+
+func TestConcurrentTransactionsOnDistinctObjects(t *testing.T) {
+	m := NewManager()
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				txn := m.Begin()
+				id := object.ID(rune('a' + w%8))
+				if err := txn.Lock(id); err != nil {
+					errs <- err
+					_ = txn.Rollback()
+					return
+				}
+				if err := txn.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

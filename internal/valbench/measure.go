@@ -1,0 +1,112 @@
+package valbench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Measurement is one approach's scenario runtime.
+type Measurement struct {
+	Name     string
+	Duration time.Duration
+	Counts   CheckCounts
+	// Overhead is the runtime relative to a baseline filled in by the
+	// caller (Equation 2.1).
+	Overhead float64
+}
+
+// MeasureApproach times repeated scenario runs of one approach. A warm-up
+// pass precedes measurement (the paper runs the scenario 2500 times before
+// measuring to defeat JIT noise; Go needs the warm-up mainly for cache and
+// branch-predictor stability).
+func MeasureApproach(a Approach, spec Spec, runs int) (Measurement, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	// Warm-up.
+	if _, err := a.Run(spec); err != nil {
+		return Measurement{}, fmt.Errorf("valbench: %s warm-up: %w", a.Name(), err)
+	}
+	var counts CheckCounts
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		c, err := a.Run(spec)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("valbench: %s run %d: %w", a.Name(), i, err)
+		}
+		counts = c
+	}
+	return Measurement{
+		Name:     a.Name(),
+		Duration: time.Since(start) / time.Duration(runs),
+		Counts:   counts,
+	}, nil
+}
+
+// MeasureAll times every approach and computes overheads relative to the
+// named baseline (Equation 2.1: overhead = runtime/baseline-runtime).
+func MeasureAll(spec Spec, runs int, baseline string) ([]Measurement, error) {
+	var out []Measurement
+	var base time.Duration
+	for _, a := range Approaches() {
+		m, err := MeasureApproach(a, spec, runs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		if a.Name() == baseline {
+			base = m.Duration
+		}
+	}
+	if base <= 0 {
+		return nil, fmt.Errorf("valbench: baseline %q not measured", baseline)
+	}
+	for i := range out {
+		out[i].Overhead = float64(out[i].Duration) / float64(base)
+	}
+	return out, nil
+}
+
+// SliceMeasurement is one (mechanism, slice set) runtime with its overhead
+// over the plain application.
+type SliceMeasurement struct {
+	Mech     Mechanism
+	Config   SliceConfig
+	Duration time.Duration
+	Overhead float64
+	Searches int64
+}
+
+// MeasureSlices times one slice configuration.
+func MeasureSlices(spec Spec, cfg SliceConfig, runs int) (SliceMeasurement, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	if _, err := RunSlices(spec, cfg); err != nil { // warm-up
+		return SliceMeasurement{}, err
+	}
+	var searches int64
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		s, err := RunSlices(spec, cfg)
+		if err != nil {
+			return SliceMeasurement{}, err
+		}
+		searches = s
+	}
+	return SliceMeasurement{
+		Mech:     cfg.Mech,
+		Config:   cfg,
+		Duration: time.Since(start) / time.Duration(runs),
+		Searches: searches,
+	}, nil
+}
+
+// BaselineDuration times the plain scenario (R1).
+func BaselineDuration(spec Spec, runs int) (time.Duration, error) {
+	m, err := MeasureApproach(Baseline{}, spec, runs)
+	if err != nil {
+		return 0, err
+	}
+	return m.Duration, nil
+}

@@ -1,0 +1,115 @@
+package valbench
+
+import "sync/atomic"
+
+// Repo is the study's constraint repository (§2.1.4): all constraint
+// bindings of the application, queried per intercepted invocation by
+// (class, method, kind). The non-optimized variant scans all registrations
+// per query; the optimized variant caches query results in a hash table
+// keyed by the combined search criteria (§2.2.1).
+type Repo struct {
+	cached  bool
+	entries []repoEntry
+	cache   map[lookupKey][]*CompiledCheck
+
+	searches atomic.Int64
+}
+
+type lookupKey struct {
+	class  string
+	method string
+	kind   Kind
+}
+
+type repoEntry struct {
+	class  string
+	method string // empty matches any method of the class (invariants)
+	kind   Kind
+	check  *CompiledCheck
+}
+
+// NewRepo builds the repository with every binding of the study's
+// constraint set registered.
+func NewRepo(cached bool) *Repo {
+	r := &Repo{cached: cached}
+	for key, checks := range preConditions {
+		class, method := splitKey(key)
+		for _, c := range checks {
+			r.entries = append(r.entries, repoEntry{class: class, method: method, kind: PreCheck, check: c})
+		}
+	}
+	for key, checks := range postConditions {
+		class, method := splitKey(key)
+		for _, c := range checks {
+			r.entries = append(r.entries, repoEntry{class: class, method: method, kind: PostCheck, check: c})
+		}
+	}
+	// Invariants are bound to every public method of their context class.
+	for class, invs := range classInvariants {
+		for _, method := range classMethods[class] {
+			for _, c := range invs {
+				r.entries = append(r.entries, repoEntry{class: class, method: method, kind: InvCheck, check: c})
+			}
+		}
+	}
+	if cached {
+		r.cache = make(map[lookupKey][]*CompiledCheck)
+	}
+	return r
+}
+
+func splitKey(key string) (class, method string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
+
+// Lookup searches the affected constraints of an invocation. The optimized
+// repository reduces the operation to a single hash-table probe with a key
+// combining the search criteria (§2.2.1); the non-optimized one scans all
+// registrations, matching by qualified method signature the way the naive
+// repository implementations of the study did.
+func (r *Repo) Lookup(class, method string, kind Kind) []*CompiledCheck {
+	r.searches.Add(1)
+	if r.cached {
+		key := lookupKey{class: class, method: method, kind: kind}
+		if hit, ok := r.cache[key]; ok {
+			return hit
+		}
+		res := r.scan(class, method, kind)
+		r.cache[key] = res
+		return res
+	}
+	return r.scan(class, method, kind)
+}
+
+func (r *Repo) scan(class, method string, kind Kind) []*CompiledCheck {
+	// The per-invocation search compares qualified signatures, which is
+	// what makes the non-optimized repository orders of magnitude slower
+	// (Figure 2.4): every entry materialises its signature for the match.
+	want := class + "." + method
+	var out []*CompiledCheck
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.kind != kind {
+			continue
+		}
+		sig := e.class + "." + e.method
+		if e.method == "" {
+			sig = e.class + "." + method
+		}
+		if sig == want {
+			out = append(out, e.check)
+		}
+	}
+	return out
+}
+
+// Searches returns the number of Lookup calls performed.
+func (r *Repo) Searches() int64 { return r.searches.Load() }
+
+// Size returns the number of registered bindings.
+func (r *Repo) Size() int { return len(r.entries) }

@@ -1,0 +1,141 @@
+package valbench
+
+import "reflect"
+
+// Runtime slice decomposition of Figure 2.3: the total runtime of a
+// repository-based approach splits into
+//
+//	R1 application without checks
+//	R2 invocation interception
+//	R3 parameter extraction for the repository search
+//	R4 constraint search in the repository
+//	R5 the constraint checks themselves
+//
+// SliceConfig switches the individual slices on so that the ratios of
+// Figures 2.4–2.6 — (R1+R2)/R1, (R1+R2+R3)/R1, (R1+R2+R3+R4)/R1 — can be
+// measured directly.
+
+// Mechanism is an interception mechanism of §2.1.5.
+type Mechanism int
+
+// The three mechanisms compared in the dissertation with their Go
+// analogues.
+const (
+	// MechInline is compiled weaving (AspectJ): a direct function-value
+	// indirection; parameter extraction must resolve the reflective method.
+	MechInline Mechanism = iota + 1
+	// MechDyn is a dynamic AOP framework (JBoss AOP): dispatch through a
+	// method-handle table that already provides the method object.
+	MechDyn
+	// MechProxy is reflection-based interception (java.lang.reflect.Proxy).
+	MechProxy
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case MechInline:
+		return "AspectJ-analog"
+	case MechDyn:
+		return "JBossAOP-analog"
+	case MechProxy:
+		return "Proxy-analog"
+	default:
+		return "unknown"
+	}
+}
+
+// SliceConfig selects the active runtime slices.
+type SliceConfig struct {
+	Mech    Mechanism
+	Extract bool // R3: build the invocation record / method object
+	Search  bool // R4: query the repository (implies Extract)
+	Check   bool // R5: run the found checks (implies Search)
+	Cached  bool // optimized repository for R4
+}
+
+// RunSlices runs the scenario with only the configured slices active and
+// returns the repository search count (0 when Search is off).
+func RunSlices(spec Spec, cfg SliceConfig) (int64, error) {
+	w := NewWorld(spec.Employees, spec.Projects)
+	var repo *Repo
+	if cfg.Search || cfg.Check {
+		repo = NewRepo(cfg.Cached)
+		cfg.Extract = true
+	}
+	if cfg.Check {
+		cfg.Search = true
+	}
+
+	err := runScenario(w, spec, func(target any, class, method string, arg int) error {
+		var inv *Invocation
+		if cfg.Extract {
+			inv = extract(cfg.Mech, target, class, method, arg)
+		}
+		var invs, pres, posts []*CompiledCheck
+		if cfg.Search {
+			invs = repo.Lookup(class, method, InvCheck)
+			pres = repo.Lookup(class, method, PreCheck)
+			posts = repo.Lookup(class, method, PostCheck)
+		}
+		if cfg.Check {
+			for _, c := range invs {
+				if !c.Fn(inv) {
+					return ErrCheckFailed
+				}
+			}
+			for _, c := range pres {
+				if !c.Fn(inv) {
+					return ErrCheckFailed
+				}
+			}
+			for _, c := range posts {
+				if c.Capture != nil {
+					c.Capture(inv)
+				}
+			}
+		}
+
+		// R2: the interception mechanism forwards the call.
+		switch cfg.Mech {
+		case MechDyn:
+			dynHandles[class+"."+method](target, arg)
+		case MechProxy:
+			m := reflect.ValueOf(target).MethodByName(method)
+			if m.Type().NumIn() == 0 {
+				m.Call(nil)
+			} else {
+				m.Call([]reflect.Value{reflect.ValueOf(arg)})
+			}
+		default:
+			rawCall(target, method, arg)
+		}
+
+		if cfg.Check {
+			for _, c := range posts {
+				if !c.Fn(inv) {
+					return ErrCheckFailed
+				}
+			}
+			for _, c := range invs {
+				if !c.Fn(inv) {
+					return ErrCheckFailed
+				}
+			}
+		}
+		return nil
+	})
+	if repo != nil {
+		return repo.Searches(), err
+	}
+	return 0, err
+}
+
+// extract materialises the invocation record; the inline mechanism pays the
+// reflective method resolution of §2.3.2 (AspectJ's getClass().getMethod()).
+func extract(mech Mechanism, target any, class, method string, arg int) *Invocation {
+	if mech == MechInline {
+		_, _ = reflect.TypeOf(target).MethodByName(method)
+	}
+	return &Invocation{Class: class, Method: method, Target: target, Args: []int{arg}, Pre: make(map[string]int, 2)}
+}

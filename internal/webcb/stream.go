@@ -1,0 +1,284 @@
+package webcb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dedisys/internal/threat"
+)
+
+// StreamBridge is the alternative callback transport discussed in §6.4: a
+// persistent HTTP connection (XMLBlaster-style) over which the server pushes
+// negotiation questions to the browser as a chunked event stream, while
+// decisions still arrive as ordinary POSTs. Compared to the paired-exchange
+// Bridge it trades one long-lived connection per client for simpler
+// request routing — with the §5.4 caveat that intermediate firewalls may
+// terminate long-lived connections.
+//
+//	GET  /events?client=<id>     chunked stream of Question JSON lines
+//	POST /business?op=<o>&client=<id>   start an operation for the client
+//	POST /decision?exchange=<id>&accept=<bool>
+//
+// Business results are delivered on the business request's own response
+// (they need no callback), so only questions travel over the stream.
+type StreamBridge struct {
+	// NegotiationTimeout bounds waiting for decisions and stream delivery.
+	NegotiationTimeout time.Duration
+
+	operations map[string]Operation
+
+	mu        sync.Mutex
+	seq       int64
+	clients   map[string]chan Question
+	exchanges map[string]*exchange
+}
+
+// NewStreamBridge creates a streaming bridge.
+func NewStreamBridge() *StreamBridge {
+	return &StreamBridge{
+		NegotiationTimeout: 30 * time.Second,
+		operations:         make(map[string]Operation),
+		clients:            make(map[string]chan Question),
+		exchanges:          make(map[string]*exchange),
+	}
+}
+
+// RegisterOperation installs a named business operation.
+func (b *StreamBridge) RegisterOperation(name string, op Operation) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.operations[name] = op
+}
+
+// Handler returns the HTTP handler.
+func (b *StreamBridge) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/events", b.handleEvents)
+	mux.HandleFunc("/business", b.handleBusiness)
+	mux.HandleFunc("/decision", b.handleDecision)
+	return mux
+}
+
+// handleEvents holds the persistent connection and streams questions.
+func (b *StreamBridge) handleEvents(w http.ResponseWriter, r *http.Request) {
+	client := r.URL.Query().Get("client")
+	if client == "" {
+		http.Error(w, "client required", http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch := make(chan Question, 4)
+	b.mu.Lock()
+	b.clients[client] = ch
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		if b.clients[client] == ch {
+			delete(b.clients, client)
+		}
+		b.mu.Unlock()
+	}()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case q := <-ch:
+			if err := enc.Encode(q); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (b *StreamBridge) handleBusiness(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("op")
+	client := r.URL.Query().Get("client")
+	b.mu.Lock()
+	op, ok := b.operations[name]
+	stream := b.clients[client]
+	b.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown operation %q", name), http.StatusNotFound)
+		return
+	}
+	if stream == nil {
+		http.Error(w, "no event stream connected for client", http.StatusPreconditionFailed)
+		return
+	}
+
+	b.mu.Lock()
+	b.seq++
+	ex := &exchange{
+		id:        fmt.Sprintf("s%06d", b.seq),
+		decisions: make(chan bool),
+		done:      make(chan Response, 1),
+	}
+	b.exchanges[ex.id] = ex
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.exchanges, ex.id)
+		b.mu.Unlock()
+	}()
+
+	negotiate := b.streamNegotiator(ex, stream)
+	result, err := op(negotiate)
+	resp := Response{Type: "result", Result: result}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	writeJSON(w, resp)
+}
+
+func (b *StreamBridge) streamNegotiator(ex *exchange, stream chan Question) threat.Handler {
+	return func(nc *threat.NegotiationContext) threat.Decision {
+		q := Question{
+			Exchange:   ex.id,
+			Constraint: nc.Constraint.Name,
+			Degree:     nc.Degree.String(),
+			Context:    string(nc.ContextID),
+		}
+		select {
+		case stream <- q:
+		case <-time.After(b.NegotiationTimeout):
+			return threat.Reject
+		}
+		select {
+		case accepted := <-ex.decisions:
+			if accepted {
+				return threat.Accept
+			}
+			return threat.Reject
+		case <-time.After(b.NegotiationTimeout):
+			return threat.Reject
+		}
+	}
+}
+
+func (b *StreamBridge) handleDecision(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("exchange")
+	b.mu.Lock()
+	ex, ok := b.exchanges[id]
+	b.mu.Unlock()
+	if !ok {
+		http.Error(w, ErrUnknownExchange.Error(), http.StatusNotFound)
+		return
+	}
+	accept := r.URL.Query().Get("accept") == "true"
+	select {
+	case ex.decisions <- accept:
+		writeJSON(w, Response{Type: "ack"})
+	case <-time.After(b.NegotiationTimeout):
+		http.Error(w, ErrNegotiationTimeout.Error(), http.StatusGatewayTimeout)
+	}
+}
+
+// StreamClient drives the streaming protocol: it holds the event stream
+// open, answers questions through Decide, and runs business operations.
+type StreamClient struct {
+	HTTP   *http.Client
+	Base   string
+	Client string
+	Decide func(q Question) bool
+
+	cancel chan struct{}
+	body   interface{ Close() error }
+}
+
+// Connect opens the persistent event stream and starts answering questions
+// in the background. Call Close to tear it down.
+func (c *StreamClient) Connect() error {
+	httpc := c.httpClient()
+	resp, err := httpc.Get(fmt.Sprintf("%s/events?client=%s", c.Base, c.Client))
+	if err != nil {
+		return fmt.Errorf("webcb: connect stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		_ = resp.Body.Close()
+		return fmt.Errorf("webcb: stream returned %s", resp.Status)
+	}
+	cancel := make(chan struct{})
+	c.cancel = cancel
+	c.body = resp.Body
+	go func() {
+		defer func() { _ = resp.Body.Close() }()
+		scanner := bufio.NewScanner(resp.Body)
+		for scanner.Scan() {
+			select {
+			case <-cancel:
+				return
+			default:
+			}
+			var q Question
+			if err := json.Unmarshal(scanner.Bytes(), &q); err != nil {
+				continue
+			}
+			accept := c.Decide != nil && c.Decide(q)
+			url := fmt.Sprintf("%s/decision?exchange=%s&accept=%t", c.Base, q.Exchange, accept)
+			if res, err := httpc.Post(url, "application/json", nil); err == nil {
+				_ = res.Body.Close()
+			}
+		}
+	}()
+	return nil
+}
+
+// Close stops answering questions and tears down the persistent
+// connection so the server-side event handler can return.
+func (c *StreamClient) Close() {
+	if c.cancel != nil {
+		close(c.cancel)
+		c.cancel = nil
+	}
+	if c.body != nil {
+		_ = c.body.Close()
+		c.body = nil
+	}
+}
+
+// Call runs one business operation; questions are answered over the stream.
+func (c *StreamClient) Call(op string) (Response, error) {
+	httpc := c.httpClient()
+	url := fmt.Sprintf("%s/business?op=%s&client=%s", c.Base, op, c.Client)
+	res, err := httpc.Post(url, "application/json", nil)
+	if err != nil {
+		return Response{}, fmt.Errorf("webcb: post %s: %w", url, err)
+	}
+	defer func() { _ = res.Body.Close() }()
+	if res.StatusCode != http.StatusOK {
+		return Response{}, fmt.Errorf("webcb: %s returned %s", url, res.Status)
+	}
+	var out Response
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		return Response{}, fmt.Errorf("webcb: decode response: %w", err)
+	}
+	return out, nil
+}
+
+func (c *StreamClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}

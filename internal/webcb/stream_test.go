@@ -1,0 +1,160 @@
+package webcb
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newStreamServer(t *testing.T, b *StreamBridge) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(b.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestStreamNegotiationAccepted(t *testing.T) {
+	b := NewStreamBridge()
+	b.RegisterOperation("sell", fakeOp("TicketConstraint"))
+	srv := newStreamServer(t, b)
+
+	var asked []Question
+	c := &StreamClient{Base: srv.URL, Client: "browser-1", Decide: func(q Question) bool {
+		asked = append(asked, q)
+		return true
+	}}
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "result" || resp.Error != "" || resp.Result.(float64) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(asked) != 1 || asked[0].Constraint != "TicketConstraint" {
+		t.Fatalf("asked = %+v", asked)
+	}
+}
+
+func TestStreamNegotiationRejected(t *testing.T) {
+	b := NewStreamBridge()
+	b.RegisterOperation("sell", fakeOp("C1"))
+	srv := newStreamServer(t, b)
+	c := &StreamClient{Base: srv.URL, Client: "browser-2", Decide: func(Question) bool { return false }}
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestStreamMultipleQuestions(t *testing.T) {
+	b := NewStreamBridge()
+	b.RegisterOperation("sell", fakeOp("C1", "C2", "C3"))
+	srv := newStreamServer(t, b)
+	count := 0
+	c := &StreamClient{Base: srv.URL, Client: "browser-3", Decide: func(Question) bool {
+		count++
+		return true
+	}}
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || resp.Result.(float64) != 3 {
+		t.Fatalf("count = %d, resp = %+v", count, resp)
+	}
+}
+
+func TestStreamBusinessWithoutStream(t *testing.T) {
+	b := NewStreamBridge()
+	b.RegisterOperation("sell", fakeOp())
+	srv := newStreamServer(t, b)
+	res, err := http.Post(srv.URL+"/business?op=sell&client=ghost", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = res.Body.Close() }()
+	if res.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("status = %s", res.Status)
+	}
+}
+
+func TestStreamUnknownOperationAndExchange(t *testing.T) {
+	b := NewStreamBridge()
+	srv := newStreamServer(t, b)
+	c := &StreamClient{Base: srv.URL, Client: "b"}
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := http.Post(srv.URL+"/business?op=nope&client=b", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown op status = %s", res.Status)
+	}
+	res, err = http.Post(srv.URL+"/decision?exchange=ghost&accept=true", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown exchange status = %s", res.Status)
+	}
+}
+
+func TestStreamEventsRequiresClient(t *testing.T) {
+	b := NewStreamBridge()
+	srv := newStreamServer(t, b)
+	res, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s", res.Status)
+	}
+}
+
+func TestStreamTimeoutRejects(t *testing.T) {
+	b := NewStreamBridge()
+	b.NegotiationTimeout = 50 * time.Millisecond
+	b.RegisterOperation("sell", fakeOp("C1"))
+	srv := newStreamServer(t, b)
+	// Connect a stream but never answer (no Decide handler posting back —
+	// Decide nil means reject is posted; instead use a client that ignores
+	// questions entirely by not connecting the answer loop).
+	c := &StreamClient{Base: srv.URL, Client: "slow", Decide: func(Question) bool {
+		time.Sleep(200 * time.Millisecond) // answers after the timeout
+		return true
+	}}
+	if err := c.Connect(); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == "" {
+		t.Fatalf("timed-out negotiation should reject: %+v", resp)
+	}
+}

@@ -1,0 +1,277 @@
+// Package webcb implements the Web-application callback bridge of §4.5
+// (Figure 4.8). HTTP's strict request/response cycle cannot deliver the
+// middleware's blocking negotiation callback to a browser, so the bridge
+// maps the callback onto paired HTTP exchanges:
+//
+//  1. The browser POSTs a business request. The server runs the business
+//     operation on a separate goroutine (the "negotiation thread" of the
+//     dissertation is this parked goroutine).
+//  2. When the middleware raises a consistency threat, the registered
+//     negotiation handler parks the operation and the pending negotiation
+//     question is returned as the HTTP response to the business request.
+//  3. The browser examines the situation and POSTs the decision as a new
+//     HTTP request — effectively the response to the negotiation callback.
+//     The bridge resumes the parked operation with the decision and holds
+//     the decision request until the business result (or the next
+//     negotiation question) is available, which it then returns.
+//  4. A negotiation left unanswered beyond the timeout is resumed with
+//     "not accepted" so the operation thread is never blocked indefinitely.
+package webcb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"dedisys/internal/threat"
+)
+
+// Errors of the bridge.
+var (
+	// ErrUnknownExchange reports a decision for an expired or unknown
+	// business exchange.
+	ErrUnknownExchange = errors.New("webcb: unknown exchange")
+	// ErrNegotiationTimeout reports that the browser did not answer within
+	// the negotiation timeout; the threat is rejected.
+	ErrNegotiationTimeout = errors.New("webcb: negotiation timed out")
+)
+
+// Operation is one business operation executed by the Web application. It
+// receives a negotiation handler to be registered with the middleware
+// transaction; the handler parks the operation while the browser decides.
+type Operation func(negotiate threat.Handler) (any, error)
+
+// Question is the negotiation question forwarded to the browser.
+type Question struct {
+	Exchange   string `json:"exchange"`
+	Constraint string `json:"constraint"`
+	Degree     string `json:"degree"`
+	Context    string `json:"context"`
+}
+
+// Response is the envelope of every bridge response.
+type Response struct {
+	// Type is "negotiation" (a Question awaits an answer) or "result".
+	Type string `json:"type"`
+	// Question is set for negotiation responses.
+	Question *Question `json:"question,omitempty"`
+	// Result and Error are set for result responses.
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// exchange is one in-flight business interaction.
+type exchange struct {
+	id        string
+	questions chan Question
+	decisions chan bool
+	done      chan Response
+}
+
+// Bridge maps middleware negotiation callbacks onto HTTP exchanges.
+type Bridge struct {
+	// NegotiationTimeout bounds how long a parked operation waits for the
+	// browser's decision (default 30s).
+	NegotiationTimeout time.Duration
+	// operations maps operation names to implementations.
+	operations map[string]Operation
+
+	mu        sync.Mutex
+	seq       int64
+	exchanges map[string]*exchange
+}
+
+// NewBridge creates a bridge.
+func NewBridge() *Bridge {
+	return &Bridge{
+		NegotiationTimeout: 30 * time.Second,
+		operations:         make(map[string]Operation),
+		exchanges:          make(map[string]*exchange),
+	}
+}
+
+// RegisterOperation installs a named business operation.
+func (b *Bridge) RegisterOperation(name string, op Operation) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.operations[name] = op
+}
+
+// Handler returns the HTTP handler exposing the bridge:
+//
+//	POST /business?op=<name>       start a business operation
+//	POST /decision?exchange=<id>&accept=<true|false>
+//	                               answer a pending negotiation
+func (b *Bridge) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/business", b.handleBusiness)
+	mux.HandleFunc("/decision", b.handleDecision)
+	return mux
+}
+
+func (b *Bridge) handleBusiness(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("op")
+	b.mu.Lock()
+	op, ok := b.operations[name]
+	b.mu.Unlock()
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown operation %q", name), http.StatusNotFound)
+		return
+	}
+	ex := b.newExchange()
+
+	// Run the business operation on its own goroutine; the HTTP goroutine
+	// is released back to the browser with whatever comes first.
+	go b.runOperation(ex, op)
+
+	b.respondNext(w, ex)
+}
+
+func (b *Bridge) runOperation(ex *exchange, op Operation) {
+	negotiate := func(nc *threat.NegotiationContext) threat.Decision {
+		q := Question{
+			Exchange:   ex.id,
+			Constraint: nc.Constraint.Name,
+			Degree:     nc.Degree.String(),
+			Context:    string(nc.ContextID),
+		}
+		// Forward the question to the waiting HTTP goroutine and park.
+		ex.questions <- q
+		select {
+		case accepted := <-ex.decisions:
+			if accepted {
+				return threat.Accept
+			}
+			return threat.Reject
+		case <-time.After(b.NegotiationTimeout):
+			// Resume by not accepting (§4.5).
+			return threat.Reject
+		}
+	}
+	result, err := op(negotiate)
+	resp := Response{Type: "result", Result: result}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	ex.done <- resp
+	b.mu.Lock()
+	delete(b.exchanges, ex.id)
+	b.mu.Unlock()
+}
+
+func (b *Bridge) handleDecision(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("exchange")
+	b.mu.Lock()
+	ex, ok := b.exchanges[id]
+	b.mu.Unlock()
+	if !ok {
+		http.Error(w, ErrUnknownExchange.Error(), http.StatusNotFound)
+		return
+	}
+	accept := r.URL.Query().Get("accept") == "true"
+	select {
+	case ex.decisions <- accept:
+	case <-time.After(b.NegotiationTimeout):
+		http.Error(w, ErrNegotiationTimeout.Error(), http.StatusGatewayTimeout)
+		return
+	}
+	// Hold this request until the business result or the next negotiation
+	// question arrives (Figure 4.8's suspended decision request).
+	b.respondNext(w, ex)
+}
+
+// respondNext waits for the exchange's next event and writes it.
+func (b *Bridge) respondNext(w http.ResponseWriter, ex *exchange) {
+	select {
+	case q := <-ex.questions:
+		writeJSON(w, Response{Type: "negotiation", Question: &q})
+	case resp := <-ex.done:
+		writeJSON(w, resp)
+	case <-time.After(b.NegotiationTimeout + time.Second):
+		http.Error(w, "operation timed out", http.StatusGatewayTimeout)
+	}
+}
+
+func (b *Bridge) newExchange() *exchange {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	ex := &exchange{
+		id:        fmt.Sprintf("x%06d", b.seq),
+		questions: make(chan Question),
+		decisions: make(chan bool),
+		done:      make(chan Response, 1),
+	}
+	b.exchanges[ex.id] = ex
+	return ex
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client is a minimal browser-side driver of the bridge protocol, used by
+// tests, the example, and as a reference for real front-ends.
+type Client struct {
+	HTTP *http.Client
+	Base string
+	// Decide is consulted for every negotiation question.
+	Decide func(q Question) bool
+}
+
+// Call runs one business operation, answering negotiation questions through
+// Decide, and returns the final result envelope.
+func (c *Client) Call(op string) (Response, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := c.post(httpc, c.Base+"/business?op="+op)
+	if err != nil {
+		return Response{}, err
+	}
+	for resp.Type == "negotiation" {
+		accept := false
+		if c.Decide != nil && resp.Question != nil {
+			accept = c.Decide(*resp.Question)
+		}
+		resp, err = c.post(httpc, fmt.Sprintf("%s/decision?exchange=%s&accept=%t", c.Base, resp.Question.Exchange, accept))
+		if err != nil {
+			return Response{}, err
+		}
+	}
+	return resp, nil
+}
+
+func (c *Client) post(httpc *http.Client, url string) (Response, error) {
+	res, err := httpc.Post(url, "application/json", nil)
+	if err != nil {
+		return Response{}, fmt.Errorf("webcb: post %s: %w", url, err)
+	}
+	defer func() {
+		_ = res.Body.Close()
+	}()
+	if res.StatusCode != http.StatusOK {
+		return Response{}, fmt.Errorf("webcb: %s returned %s", url, res.Status)
+	}
+	var out Response
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		return Response{}, fmt.Errorf("webcb: decode response: %w", err)
+	}
+	return out, nil
+}

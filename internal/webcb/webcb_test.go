@@ -1,0 +1,218 @@
+package webcb
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/threat"
+)
+
+// fakeOp simulates a middleware business operation raising the given
+// consistency threats in order; the result is the number of accepted ones.
+func fakeOp(threats ...string) Operation {
+	return func(negotiate threat.Handler) (any, error) {
+		accepted := 0
+		for _, name := range threats {
+			nc := &threat.NegotiationContext{
+				Constraint: constraint.Meta{Name: name},
+				Degree:     constraint.PossiblySatisfied,
+				ContextID:  "f1",
+			}
+			if negotiate(nc) == threat.Accept {
+				accepted++
+			} else {
+				return nil, errors.New("threat rejected")
+			}
+		}
+		return accepted, nil
+	}
+}
+
+func newServer(t *testing.T, b *Bridge) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(b.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestBusinessWithoutThreats(t *testing.T) {
+	b := NewBridge()
+	b.RegisterOperation("sell", fakeOp())
+	srv := newServer(t, b)
+	c := &Client{Base: srv.URL}
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "result" || resp.Error != "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Result.(float64) != 0 {
+		t.Fatalf("result = %v", resp.Result)
+	}
+}
+
+func TestSingleNegotiationAccepted(t *testing.T) {
+	b := NewBridge()
+	b.RegisterOperation("sell", fakeOp("TicketConstraint"))
+	srv := newServer(t, b)
+	var asked []Question
+	c := &Client{Base: srv.URL, Decide: func(q Question) bool {
+		asked = append(asked, q)
+		return true
+	}}
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "result" || resp.Result.(float64) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if len(asked) != 1 || asked[0].Constraint != "TicketConstraint" {
+		t.Fatalf("questions = %+v", asked)
+	}
+	if asked[0].Degree != constraint.PossiblySatisfied.String() || asked[0].Context != "f1" {
+		t.Fatalf("question detail = %+v", asked[0])
+	}
+}
+
+func TestNegotiationRejected(t *testing.T) {
+	b := NewBridge()
+	b.RegisterOperation("sell", fakeOp("TicketConstraint"))
+	srv := newServer(t, b)
+	c := &Client{Base: srv.URL, Decide: func(Question) bool { return false }}
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != "result" || resp.Error == "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestMultipleNegotiationsInOneOperation(t *testing.T) {
+	b := NewBridge()
+	b.RegisterOperation("sell", fakeOp("C1", "C2", "C3"))
+	srv := newServer(t, b)
+	count := 0
+	c := &Client{Base: srv.URL, Decide: func(Question) bool {
+		count++
+		return true
+	}}
+	resp, err := c.Call("sell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || resp.Result.(float64) != 3 {
+		t.Fatalf("count = %d, resp = %+v", count, resp)
+	}
+}
+
+func TestNegotiationTimeoutRejects(t *testing.T) {
+	b := NewBridge()
+	b.NegotiationTimeout = 50 * time.Millisecond
+	b.RegisterOperation("sell", fakeOp("C1"))
+	srv := newServer(t, b)
+
+	// Start the business request but never answer the negotiation.
+	res, err := http.Post(srv.URL+"/business?op=sell", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = res.Body.Close() }()
+	// The parked operation resumes with "not accepted" after the timeout;
+	// the operation then fails with "threat rejected". Wait for it.
+	time.Sleep(150 * time.Millisecond)
+}
+
+func TestDecisionForUnknownExchange(t *testing.T) {
+	b := NewBridge()
+	srv := newServer(t, b)
+	res, err := http.Post(srv.URL+"/decision?exchange=ghost&accept=true", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = res.Body.Close() }()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s", res.Status)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	b := NewBridge()
+	srv := newServer(t, b)
+	res, err := http.Post(srv.URL+"/business?op=nope", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = res.Body.Close() }()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s", res.Status)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	b := NewBridge()
+	srv := newServer(t, b)
+	for _, path := range []string{"/business?op=x", "/decision?exchange=x"} {
+		res, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = res.Body.Close()
+		if res.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s status = %s", path, res.Status)
+		}
+	}
+}
+
+func TestConcurrentExchanges(t *testing.T) {
+	b := NewBridge()
+	b.RegisterOperation("sell", fakeOp("C1"))
+	srv := newServer(t, b)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &Client{Base: srv.URL, Decide: func(Question) bool { return true }}
+			resp, err := c.Call("sell")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Type != "result" || resp.Error != "" {
+				errs <- errors.New("bad response " + resp.Type + " " + resp.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	c := &Client{Base: "http://127.0.0.1:1"} // nothing listens here
+	if _, err := c.Call("x"); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "business") {
+			_, _ = w.Write([]byte("not json"))
+		}
+	}))
+	defer srv.Close()
+	c = &Client{Base: srv.URL}
+	if _, err := c.Call("x"); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
