@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dedisys/internal/bench"
+	"dedisys/internal/obs"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func run(args []string) error {
 		netCost   = fs.Duration("netcost", -1, "simulated per-message network cost (default 120µs)")
 		storeCost = fs.Duration("storecost", -1, "simulated per-write database cost (default 80µs)")
 		csvDir    = fs.String("csv", "", "also write each result as CSV into this directory")
+		metrics   = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
+		trace     = fs.Bool("trace", false, "record structured events and dump the trace after each experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +68,12 @@ func run(args []string) error {
 	if *storeCost >= 0 {
 		cfg.StoreCost = *storeCost
 	}
+	var observer *obs.Observer
+	if *metrics || *trace {
+		observer = obs.New()
+		observer.Tracer().SetEnabled(*trace)
+		cfg.Obs = observer
+	}
 
 	selected := bench.Registry()
 	if ids := fs.Args(); len(ids) > 0 {
@@ -89,9 +98,27 @@ func run(args []string) error {
 				return err
 			}
 		}
+		if observer != nil {
+			dumpObservability(os.Stdout, e.ID, observer, *metrics, *trace)
+			observer.Registry().Reset()
+			observer.Tracer().Reset()
+		}
 	}
 	fmt.Printf("%d experiment(s) completed in %s\n", len(selected), time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// dumpObservability prints the registry and/or trace gathered during one
+// experiment.
+func dumpObservability(w *os.File, id string, o *obs.Observer, metrics, trace bool) {
+	if metrics {
+		fmt.Fprintf(w, "-- metrics (%s) --\n", id)
+		o.Snapshot().WriteText(w)
+	}
+	if trace {
+		fmt.Fprintf(w, "-- trace (%s, %d events) --\n", id, o.Tracer().Len())
+		o.Tracer().WriteText(w)
+	}
 }
 
 // writeCSV stores one result as <dir>/<id>.csv.

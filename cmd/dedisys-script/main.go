@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"dedisys/internal/obs"
 	"dedisys/internal/script"
 )
 
@@ -53,6 +54,8 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("dedisys-script", flag.ContinueOnError)
 	demo := fs.Bool("demo", false, "run the built-in flight booking scenario")
+	metrics := fs.Bool("metrics", false, "dump the metrics registry after the run")
+	trace := fs.Bool("trace", false, "record structured events and dump the trace after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,7 +73,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer func() { _ = f.Close() }()
 		src = f
 	default:
-		return fmt.Errorf("usage: dedisys-script [-demo] <scenario-file|->")
+		return fmt.Errorf("usage: dedisys-script [-demo] [-metrics] [-trace] <scenario-file|->")
 	}
-	return script.New(stdout).Run(src)
+	eng := script.New(stdout)
+	if *metrics || *trace {
+		eng.Obs = obs.New()
+		eng.Obs.Tracer().SetEnabled(*trace)
+	}
+	runErr := eng.Run(src)
+	if eng.Obs != nil {
+		if *metrics {
+			fmt.Fprintln(stdout, "-- metrics --")
+			eng.Obs.Snapshot().WriteText(stdout)
+		}
+		if *trace {
+			fmt.Fprintf(stdout, "-- trace (%d events) --\n", eng.Obs.Tracer().Len())
+			eng.Obs.Tracer().WriteText(stdout)
+		}
+	}
+	return runErr
 }

@@ -39,6 +39,7 @@ func runAblProtocols(cfg Config) (*Result, error) {
 			o.Protocol = proto
 			o.ThreatPolicy = threat.IdenticalOnce
 			o.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
+			o.Obs = cfg.Obs
 		})
 		if err != nil {
 			return nil, err
@@ -101,6 +102,7 @@ func runAblIntra(cfg Config) (*Result, error) {
 			o.RepoCache = true
 			o.ThreatPolicy = threat.FullHistory
 			o.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
+			o.Obs = cfg.Obs
 		})
 		if err != nil {
 			return nil, err
@@ -154,6 +156,7 @@ func runAblRepoCache(cfg Config) (*Result, error) {
 			o.RepoCache = cached
 			o.DisableReplication = true
 			o.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
+			o.Obs = cfg.Obs
 		})
 		if err != nil {
 			return nil, err

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"dedisys/internal/obs"
 )
 
 // Config tunes experiment scale and the simulated hardware costs.
@@ -26,6 +28,9 @@ type Config struct {
 	StoreCost time.Duration
 	// Entities is the object population for the Chapter 5 workloads.
 	Entities int
+	// Obs, when set, is shared by every cluster the experiments build so one
+	// registry/trace dump covers the whole run (--metrics/--trace).
+	Obs *obs.Observer
 }
 
 // DefaultConfig approximates the dissertation's scale.

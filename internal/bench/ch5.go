@@ -91,6 +91,7 @@ func newBenchCluster(cfg Config, o clusterOpts, threatType constraint.Type) (*no
 		opt.KeepHistory = o.keepHistory
 		opt.ThreatPolicy = o.threatPolicy
 		opt.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
+		opt.Obs = cfg.Obs
 		if o.lockTimeout > 0 {
 			opt.LockTimeout = o.lockTimeout
 		}
@@ -626,6 +627,7 @@ func runAvail(cfg Config) (*Result, error) {
 			opt.RepoCache = true
 			opt.Protocol = proto.p
 			opt.ThreatPolicy = threat.IdenticalOnce
+			opt.Obs = cfg.Obs
 		})
 		if err != nil {
 			return nil, err

@@ -25,6 +25,7 @@ func runPSC(cfg Config) (*Result, error) {
 		c, err := node.NewCluster(2, nil, func(opt *node.Options) {
 			opt.RepoCache = true
 			opt.ThreatPolicy = threat.IdenticalOnce
+			opt.Obs = cfg.Obs
 		})
 		if err != nil {
 			return nil, err

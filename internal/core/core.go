@@ -17,6 +17,7 @@ import (
 	"dedisys/internal/constraint"
 	"dedisys/internal/group"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/replication"
 	"dedisys/internal/repository"
 	"dedisys/internal/threat"
@@ -128,6 +129,9 @@ type Config struct {
 	// ReplicateThreats propagates accepted threats to partition members
 	// (threat data is replicated too, §5.1). Disable for single-node setups.
 	ReplicateThreats bool
+	// Obs is the shared observability scope; nil observes into a private
+	// registry.
+	Obs *obs.Observer
 }
 
 // Manager is the constraint consistency manager.
@@ -142,6 +146,7 @@ type Manager struct {
 	comm             *group.Comm
 	defaultMinDegree constraint.Degree
 	replicateThreats bool
+	obs              *obs.Observer
 
 	reconciling atomic.Bool
 
@@ -151,13 +156,13 @@ type Manager struct {
 	disableViolated       bool
 	replicaConflicts      map[object.ID]struct{}
 
-	validations      atomic.Int64
-	violations       atomic.Int64
-	threatsDetected  atomic.Int64
-	threatsAccepted  atomic.Int64
-	threatsRejected  atomic.Int64
-	asyncShortcuts   atomic.Int64
-	intraObjectSaves atomic.Int64
+	validations      *obs.Counter
+	violations       *obs.Counter
+	threatsDetected  *obs.Counter
+	threatsAccepted  *obs.Counter
+	threatsRejected  *obs.Counter
+	asyncShortcuts   *obs.Counter
+	intraObjectSaves *obs.Counter
 }
 
 var _ tx.Resource = (*Manager)(nil)
@@ -174,8 +179,19 @@ func New(cfg Config) (*Manager, error) {
 		threats:          cfg.Threats,
 		defaultMinDegree: cfg.DefaultMinDegree,
 		replicateThreats: cfg.ReplicateThreats,
+		obs:              cfg.Obs,
 		replicaConflicts: make(map[object.ID]struct{}),
 	}
+	if m.obs == nil {
+		m.obs = obs.New()
+	}
+	m.validations = m.obs.Counter("core.validations")
+	m.violations = m.obs.Counter("core.violations")
+	m.threatsDetected = m.obs.Counter("core.threats.detected")
+	m.threatsAccepted = m.obs.Counter("core.threats.accepted")
+	m.threatsRejected = m.obs.Counter("core.threats.rejected")
+	m.asyncShortcuts = m.obs.Counter("core.async_shortcuts")
+	m.intraObjectSaves = m.obs.Counter("core.intra_object_saves")
 	if cfg.Net != nil {
 		m.comm = group.NewComm(cfg.Net)
 		if err := cfg.Net.Handle(cfg.Self, msgThreatAdd, m.handleThreatAdd); err != nil {
@@ -223,13 +239,13 @@ func (m *Manager) Stats() Stats {
 
 // ResetStats zeroes the counters.
 func (m *Manager) ResetStats() {
-	m.validations.Store(0)
-	m.violations.Store(0)
-	m.threatsDetected.Store(0)
-	m.threatsAccepted.Store(0)
-	m.threatsRejected.Store(0)
-	m.asyncShortcuts.Store(0)
-	m.intraObjectSaves.Store(0)
+	m.validations.Reset()
+	m.violations.Reset()
+	m.threatsDetected.Reset()
+	m.threatsAccepted.Reset()
+	m.threatsRejected.Reset()
+	m.asyncShortcuts.Reset()
+	m.intraObjectSaves.Reset()
 }
 
 // RegisterNegotiationHandler binds a dynamic negotiation handler to the

@@ -7,6 +7,7 @@ import (
 	"dedisys/internal/constraint"
 	"dedisys/internal/invocation"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/repository"
 	"dedisys/internal/threat"
 	"dedisys/internal/tx"
@@ -289,6 +290,9 @@ func (m *Manager) validateOne(t *tx.Tx, reg *repository.Registered, ctx *valCont
 		return nil
 	case constraint.Violated:
 		m.violations.Add(1)
+		if m.obs.Tracing() {
+			m.obs.Emit(obs.EventConstraintViolated, fmt.Sprintf("%s by %s (tx %d)", reg.Meta.Name, method, t.ID()))
+		}
 		err := &ViolationError{Constraint: reg.Meta.Name, Method: method}
 		t.SetRollbackOnly(err)
 		return err
@@ -357,6 +361,9 @@ func (m *Manager) clearSatisfiedThreats(t *tx.Tx, meta constraint.Meta, ctx *val
 // threats.
 func (m *Manager) negotiateThreat(t *tx.Tx, reg *repository.Registered, ctx *valContext, degree constraint.Degree) error {
 	m.threatsDetected.Add(1)
+	if m.obs.Tracing() {
+		m.obs.Emit(obs.EventThreatDetected, fmt.Sprintf("%s (%s)", reg.Meta.Name, degree))
+	}
 	nc := &threat.NegotiationContext{
 		Constraint:      reg.Meta,
 		Degree:          degree,
@@ -403,11 +410,17 @@ func (m *Manager) negotiateThreat(t *tx.Tx, reg *repository.Registered, ctx *val
 	decision := threat.Negotiate(nc, dynamic, m.defaultMinDegree)
 	if decision != threat.Accept {
 		m.threatsRejected.Add(1)
+		if m.obs.Tracing() {
+			m.obs.Emit(obs.EventThreatRejected, fmt.Sprintf("%s (%s)", reg.Meta.Name, degree))
+		}
 		err := &ThreatRejectedError{Constraint: reg.Meta.Name, Degree: degree}
 		t.SetRollbackOnly(err)
 		return err
 	}
 	m.threatsAccepted.Add(1)
+	if m.obs.Tracing() {
+		m.obs.Emit(obs.EventThreatAccepted, fmt.Sprintf("%s (%s)", reg.Meta.Name, degree))
+	}
 
 	// Pre- and postconditions cannot be re-evaluated during reconciliation
 	// (§3); their accepted threats are not stored, their trade has to be

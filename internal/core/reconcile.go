@@ -5,6 +5,7 @@ import (
 
 	"dedisys/internal/constraint"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/threat"
 	"dedisys/internal/transport"
 )
@@ -137,7 +138,15 @@ const maxResolveRetries = 3
 // consistency. Identical threats are re-evaluated once per identity.
 func (m *Manager) ReconcileThreats() (ThreatReport, error) {
 	m.reconciling.Store(true)
-	defer m.reconciling.Store(false)
+	if m.obs.Tracing() {
+		m.obs.Emit(obs.EventModeTransition, "-> reconciling")
+	}
+	defer func() {
+		m.reconciling.Store(false)
+		if m.obs.Tracing() {
+			m.obs.Emit(obs.EventModeTransition, fmt.Sprintf("reconciling -> %s", m.Mode()))
+		}
+	}()
 
 	var report ThreatReport
 	for _, ident := range m.threats.Identities() {

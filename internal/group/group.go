@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dedisys/internal/obs"
 	"dedisys/internal/transport"
 )
 
@@ -59,22 +60,41 @@ type Listener func(old, new View)
 // maintains one view per node.
 type Membership struct {
 	net *transport.Network
+	obs *obs.Observer
 
 	mu        sync.Mutex
 	weights   map[transport.NodeID]float64
 	views     map[transport.NodeID]View
 	listeners map[transport.NodeID][]Listener
+
+	viewChanges *obs.Counter
+}
+
+// Option configures a Membership.
+type Option func(*Membership)
+
+// WithObserver attaches the membership service to a shared observability
+// scope; without it the service inherits the network's scope.
+func WithObserver(o *obs.Observer) Option {
+	return func(m *Membership) { m.obs = o }
 }
 
 // NewMembership creates a membership service bound to the network. Node
 // weights default to 1; override them with SetWeight before partitioning.
-func NewMembership(net *transport.Network) *Membership {
+func NewMembership(net *transport.Network, opts ...Option) *Membership {
 	m := &Membership{
 		net:       net,
 		weights:   make(map[transport.NodeID]float64),
 		views:     make(map[transport.NodeID]View),
 		listeners: make(map[transport.NodeID][]Listener),
 	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.obs == nil {
+		m.obs = net.Observer()
+	}
+	m.viewChanges = m.obs.Counter("group.view_changes")
 	net.Watch(m.refresh)
 	m.refresh()
 	return m
@@ -150,6 +170,10 @@ func (m *Membership) refresh() {
 			continue
 		}
 		m.views[id] = nv
+		m.viewChanges.Inc()
+		if m.obs.Tracing() {
+			m.obs.Emit(obs.EventViewChange, fmt.Sprintf("%s: %v -> %v", id, ov.Members, nv.Members))
+		}
 		ls := make([]Listener, len(m.listeners[id]))
 		copy(ls, m.listeners[id])
 		changes = append(changes, change{listeners: ls, old: ov, new: nv})

@@ -17,6 +17,7 @@ import (
 	"dedisys/internal/invocation"
 	"dedisys/internal/naming"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/persistence"
 	"dedisys/internal/replication"
 	"dedisys/internal/repository"
@@ -57,6 +58,10 @@ type Options struct {
 	DisableReplication bool
 	// LockTimeout bounds object lock acquisition.
 	LockTimeout time.Duration
+	// Obs is the shared observability scope; the node derives a per-node
+	// sub-scope from it ("<id>." metric prefix, node-stamped events). Nil
+	// observes into a private registry.
+	Obs *obs.Observer
 }
 
 // Node is one DeDiSys middleware instance.
@@ -70,6 +75,7 @@ type Node struct {
 	Repl     *replication.Manager
 	CCM      *core.Manager
 	Naming   *naming.Service
+	Obs      *obs.Observer // per-node scope over the shared registry/tracer
 
 	net   *transport.Network
 	gms   *group.Membership
@@ -161,25 +167,31 @@ func New(opts Options) (*Node, error) {
 	if opts.ID == "" || opts.Net == nil || opts.GMS == nil {
 		return nil, errors.New("node: ID, Net and GMS are required")
 	}
+	base := opts.Obs
+	if base == nil {
+		base = obs.New()
+	}
+	scoped := base.Named(string(opts.ID))
 	n := &Node{
 		ID:       opts.ID,
 		Registry: object.NewRegistry(),
-		Store:    persistence.NewStore(persistence.WithCost(opts.StoreCost)),
+		Store:    persistence.NewStore(persistence.WithCost(opts.StoreCost), persistence.WithObserver(scoped)),
+		Obs:      scoped,
 		net:      opts.Net,
 		gms:      opts.GMS,
 	}
-	var txOpts []tx.Option
+	txOpts := []tx.Option{tx.WithObserver(scoped)}
 	if opts.LockTimeout > 0 {
 		txOpts = append(txOpts, tx.WithLockTimeout(opts.LockTimeout))
 	}
 	n.TxMgr = tx.NewManager(txOpts...)
 
-	var repoOpts []repository.Option
+	repoOpts := []repository.Option{repository.WithObserver(scoped)}
 	if opts.RepoCache {
 		repoOpts = append(repoOpts, repository.WithCache())
 	}
 	n.Repo = repository.New(repoOpts...)
-	n.Threats = threat.NewStore(n.Store, opts.ThreatPolicy)
+	n.Threats = threat.NewStore(n.Store, opts.ThreatPolicy, threat.WithObserver(scoped))
 	n.Threats.SetOwner(string(opts.ID))
 	n.cmp = newCMPResource(n.Store, n.Registry)
 	n.TxMgr.RegisterResource(n.cmp)
@@ -193,6 +205,7 @@ func New(opts Options) (*Node, error) {
 			Store:       n.Store,
 			Protocol:    opts.Protocol,
 			KeepHistory: opts.KeepHistory,
+			Obs:         scoped,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("node %s: %w", opts.ID, err)
@@ -212,6 +225,7 @@ func New(opts Options) (*Node, error) {
 			Threats:          n.Threats,
 			DefaultMinDegree: opts.DefaultMinDegree,
 			ReplicateThreats: !opts.DisableReplication,
+			Obs:              scoped,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("node %s: %w", opts.ID, err)
@@ -500,6 +514,7 @@ type Cluster struct {
 	Net   *transport.Network
 	GMS   *group.Membership
 	Nodes []*Node
+	Obs   *obs.Observer // process-wide scope shared by network and nodes
 
 	byID map[transport.NodeID]*Node
 }
@@ -509,7 +524,19 @@ type ClusterOption func(*Options)
 
 // NewCluster creates size nodes named n1..nN on a fresh network.
 func NewCluster(size int, netOpts []transport.Option, opts ...ClusterOption) (*Cluster, error) {
-	net := transport.NewNetwork(netOpts...)
+	// Run the per-node options through a probe first: the shared observability
+	// scope must exist before the network is created so one registry covers
+	// transport and all nodes. Caller-supplied netOpts still win (they apply
+	// after ours).
+	probe := Options{}
+	for _, fn := range opts {
+		fn(&probe)
+	}
+	base := probe.Obs
+	if base == nil {
+		base = obs.New()
+	}
+	net := transport.NewNetwork(append([]transport.Option{transport.WithObserver(base)}, netOpts...)...)
 	ids := make([]transport.NodeID, size)
 	for i := 0; i < size; i++ {
 		ids[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
@@ -518,13 +545,14 @@ func NewCluster(size int, netOpts []transport.Option, opts ...ClusterOption) (*C
 		}
 	}
 	gms := group.NewMembership(net)
-	c := &Cluster{Net: net, GMS: gms, byID: make(map[transport.NodeID]*Node, size)}
+	c := &Cluster{Net: net, GMS: gms, Obs: base, byID: make(map[transport.NodeID]*Node, size)}
 	for _, id := range ids {
 		o := Options{ID: id, Net: net, GMS: gms}
 		for _, fn := range opts {
 			fn(&o)
 		}
 		o.ID, o.Net, o.GMS = id, net, gms // per-node identity is fixed
+		o.Obs = base
 		nd, err := New(o)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dedisys/internal/simtime"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x.count") != c {
+		t.Fatal("Counter is not get-or-create by name")
+	}
+	g := r.Gauge("x.depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	c.Reset()
+	g.Reset()
+	if c.Load() != 0 || g.Load() != 0 {
+		t.Fatal("reset did not zero metrics")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // bucket 0: < 1µs
+	h.Observe(3 * time.Microsecond)  // [2µs, 4µs)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(10 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	wantSum := 500*time.Nanosecond + 2*3*time.Microsecond + 10*time.Millisecond
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %s, want %s", s.Sum, wantSum)
+	}
+	counts := make(map[time.Duration]int64)
+	for _, b := range s.Buckets {
+		counts[b.UpperBound] = b.Count
+	}
+	if counts[time.Microsecond] != 1 {
+		t.Fatalf("sub-µs bucket = %d, want 1", counts[time.Microsecond])
+	}
+	if counts[4*time.Microsecond] != 2 {
+		t.Fatalf("4µs bucket = %d, want 2", counts[4*time.Microsecond])
+	}
+	if counts[16384*time.Microsecond] != 1 {
+		t.Fatalf("16.384ms bucket = %d, want 1 (buckets: %+v)", counts[16384*time.Microsecond], s.Buckets)
+	}
+}
+
+// TestHistogramSelfTiming charges a known simulated cost through the shared
+// simtime helper and verifies the histogram observes it in the right order
+// of magnitude — the calibration contract between the cost model and the
+// latency instrumentation.
+func TestHistogramSelfTiming(t *testing.T) {
+	var h Histogram
+	const cost = 100 * time.Microsecond
+	for i := 0; i < 8; i++ {
+		start := time.Now()
+		simtime.Charge(cost)
+		h.Observe(time.Since(start))
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if mean := h.Mean(); mean < cost || mean > 100*cost {
+		t.Fatalf("mean %s outside plausible range for a %s charge", mean, cost)
+	}
+}
+
+// TestRegistryParallelWriters hammers one registry from parallel goroutines
+// resolving and updating overlapping metric names; run with -race.
+func TestRegistryParallelWriters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared.count").Inc()
+				r.Counter(fmt.Sprintf("own.%d", w%4)).Add(2)
+				r.Gauge("shared.gauge").Set(int64(i))
+				r.Histogram("shared.hist").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.count").Load(); got != workers*500 {
+		t.Fatalf("shared.count = %d, want %d", got, workers*500)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*500 {
+		t.Fatalf("shared.hist count = %d, want %d", got, workers*500)
+	}
+}
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit("n1", EventViewChange, "ignored")
+	if tr.Len() != 0 {
+		t.Fatalf("disabled tracer recorded %d events", tr.Len())
+	}
+	tr.SetEnabled(true)
+	tr.Emit("n1", EventViewChange, "recorded")
+	if tr.Len() != 1 {
+		t.Fatalf("enabled tracer recorded %d events, want 1", tr.Len())
+	}
+}
+
+func TestTracerRingWrapKeepsNewest(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		tr.Emit("n1", EventMessageSend, fmt.Sprintf("msg %d", i))
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		want := fmt.Sprintf("msg %d", 6+i)
+		if e.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, e.Detail, want)
+		}
+	}
+	if events[0].Seq >= events[3].Seq {
+		t.Fatal("events not in emission order")
+	}
+}
+
+func TestTracerSinksAndConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetEnabled(true)
+	var buf bytes.Buffer
+	tr.AddSink(&WriterSink{W: &buf})
+	var jsonBuf bytes.Buffer
+	tr.AddSink(&JSONSink{W: &jsonBuf})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Emit(fmt.Sprintf("n%d", w), EventThreatAccepted, "c1")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lines := strings.Count(buf.String(), "\n"); lines != 200 {
+		t.Fatalf("writer sink got %d lines, want 200", lines)
+	}
+	dec := json.NewDecoder(&jsonBuf)
+	n := 0
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("json sink line %d: %v", n, err)
+		}
+		if e.Type != EventThreatAccepted {
+			t.Fatalf("json event type = %q", e.Type)
+		}
+		n++
+	}
+	if n != 200 {
+		t.Fatalf("json sink got %d events, want 200", n)
+	}
+}
+
+func TestObserverScoping(t *testing.T) {
+	o := New()
+	n1 := o.Named("n1")
+	n2 := o.Named("n2")
+	n1.Counter("core.validations").Add(3)
+	n2.Counter("core.validations").Add(5)
+	s := o.Snapshot()
+	if s.Counters["n1.core.validations"] != 3 || s.Counters["n2.core.validations"] != 5 {
+		t.Fatalf("scoped counters wrong: %+v", s.Counters)
+	}
+	o.Tracer().SetEnabled(true)
+	n1.Emit(EventModeTransition, "healthy -> degraded")
+	events := o.Tracer().Events()
+	if len(events) != 1 || events[0].Node != "n1" {
+		t.Fatalf("scoped event wrong: %+v", events)
+	}
+}
+
+func TestSnapshotWriters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(5 * time.Microsecond)
+	var text bytes.Buffer
+	r.Snapshot().WriteText(&text)
+	out := text.String()
+	if !strings.Contains(out, "a.count") || !strings.Contains(out, "b.count") {
+		t.Fatalf("text dump missing counters:\n%s", out)
+	}
+	if strings.Index(out, "a.count") > strings.Index(out, "b.count") {
+		t.Fatal("text dump not sorted")
+	}
+	var jsonOut bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&jsonOut); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(jsonOut.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded.Counters["b.count"] != 2 || decoded.Gauges["g"] != 9 {
+		t.Fatalf("round-trip lost values: %+v", decoded)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"dedisys/internal/obs"
+	"dedisys/internal/simtime"
 )
 
 // ErrNotFound reports a missing record.
@@ -35,12 +37,13 @@ type CostModel struct {
 // Store is a node-local persistent store. It is safe for concurrent use.
 type Store struct {
 	cost CostModel
+	obs  *obs.Observer
 
 	mu     sync.RWMutex
 	tables map[string]map[string][]byte
 
-	reads  atomic.Int64
-	writes atomic.Int64
+	reads  *obs.Counter
+	writes *obs.Counter
 }
 
 // Option configures a Store.
@@ -51,12 +54,23 @@ func WithCost(c CostModel) Option {
 	return func(s *Store) { s.cost = c }
 }
 
+// WithObserver attaches the store to a shared observability scope; without
+// it the store observes into a private registry.
+func WithObserver(o *obs.Observer) Option {
+	return func(s *Store) { s.obs = o }
+}
+
 // NewStore creates an empty store.
 func NewStore(opts ...Option) *Store {
 	s := &Store{tables: make(map[string]map[string][]byte)}
 	for _, o := range opts {
 		o(s)
 	}
+	if s.obs == nil {
+		s.obs = obs.New()
+	}
+	s.reads = s.obs.Counter("persistence.reads")
+	s.writes = s.obs.Counter("persistence.writes")
 	return s
 }
 
@@ -66,7 +80,7 @@ func (s *Store) Put(table, key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("persistence: encode %s/%s: %w", table, key, err)
 	}
-	charge(s.cost.PerWrite)
+	simtime.Charge(s.cost.PerWrite)
 	s.writes.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -81,7 +95,7 @@ func (s *Store) Put(table, key string, v any) error {
 
 // Get decodes the record at (table, key) into out.
 func (s *Store) Get(table, key string, out any) error {
-	charge(s.cost.PerRead)
+	simtime.Charge(s.cost.PerRead)
 	s.reads.Add(1)
 	s.mu.RLock()
 	data, ok := s.tables[table][key]
@@ -97,7 +111,7 @@ func (s *Store) Get(table, key string, out any) error {
 
 // Has reports whether a record exists without decoding it.
 func (s *Store) Has(table, key string) bool {
-	charge(s.cost.PerRead)
+	simtime.Charge(s.cost.PerRead)
 	s.reads.Add(1)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -108,7 +122,7 @@ func (s *Store) Has(table, key string) bool {
 // Delete removes the record at (table, key). Deleting a missing record is
 // not an error.
 func (s *Store) Delete(table, key string) {
-	charge(s.cost.PerWrite)
+	simtime.Charge(s.cost.PerWrite)
 	s.writes.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -117,7 +131,7 @@ func (s *Store) Delete(table, key string) {
 
 // Keys returns the sorted keys of a table.
 func (s *Store) Keys(table string) []string {
-	charge(s.cost.PerRead)
+	simtime.Charge(s.cost.PerRead)
 	s.reads.Add(1)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -138,7 +152,7 @@ func (s *Store) Len(table string) int {
 
 // DropTable removes a whole table.
 func (s *Store) DropTable(table string) {
-	charge(s.cost.PerWrite)
+	simtime.Charge(s.cost.PerWrite)
 	s.writes.Add(1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,19 +166,6 @@ func (s *Store) Stats() Stats {
 
 // ResetStats zeroes the operation counters.
 func (s *Store) ResetStats() {
-	s.reads.Store(0)
-	s.writes.Store(0)
-}
-
-func charge(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	if d >= time.Millisecond {
-		time.Sleep(d)
-		return
-	}
-	end := time.Now().Add(d)
-	for time.Now().Before(end) {
-	}
+	s.reads.Reset()
+	s.writes.Reset()
 }

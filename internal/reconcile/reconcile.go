@@ -18,6 +18,7 @@ import (
 	"dedisys/internal/core"
 	"dedisys/internal/group"
 	"dedisys/internal/node"
+	"dedisys/internal/obs"
 	"dedisys/internal/replication"
 	"dedisys/internal/transport"
 )
@@ -58,6 +59,9 @@ func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
 
 	// Phase 1: replica reconciliation (propagate missed updates, resolve
 	// write-write conflicts via the replica consistency handler).
+	if n.Obs.Tracing() {
+		n.Obs.Emit(obs.EventReconcilePhase, fmt.Sprintf("replica phase start, peers %v", peers))
+	}
 	start := time.Now()
 	replicaReport, err := n.Repl.ReconcileWith(peers, h.ReplicaResolver)
 	report.Replica = replicaReport
@@ -88,6 +92,11 @@ func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
 		}
 	}
 	report.ReplicaDuration = time.Since(start)
+	n.Obs.Histogram("reconcile.replica.duration").Observe(report.ReplicaDuration)
+	if n.Obs.Tracing() {
+		n.Obs.Emit(obs.EventReconcilePhase, fmt.Sprintf("replica phase done in %v: pushed %d adopted %d conflicts %d",
+			report.ReplicaDuration, report.Replica.Pushed, report.Replica.Adopted, report.Replica.Conflicts))
+	}
 
 	// Phase 2: constraint reconciliation (re-evaluate accepted threats).
 	if n.CCM != nil {
@@ -98,6 +107,11 @@ func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
 		threatReport, err := n.CCM.ReconcileThreats()
 		report.Constraint = threatReport
 		report.ConstraintDuration = time.Since(start)
+		n.Obs.Histogram("reconcile.constraint.duration").Observe(report.ConstraintDuration)
+		if n.Obs.Tracing() {
+			n.Obs.Emit(obs.EventReconcilePhase, fmt.Sprintf("constraint phase done in %v: reevaluated %d removed %d violations %d",
+				report.ConstraintDuration, threatReport.Reevaluated, threatReport.Removed, threatReport.Violations))
+		}
 		n.CCM.ClearReplicaConflicts()
 		if err != nil {
 			return report, fmt.Errorf("reconcile: constraint phase: %w", err)

@@ -8,6 +8,7 @@ import (
 	"dedisys/internal/constraint"
 	"dedisys/internal/group"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/persistence"
 	"dedisys/internal/transport"
 	"dedisys/internal/tx"
@@ -84,6 +85,9 @@ type Config struct {
 	// KeepHistory records intermediate states during degraded mode for
 	// rollback-based reconciliation (§4.3). Costly; see Figure 5.6.
 	KeepHistory bool
+	// Obs is the shared observability scope; nil observes into a private
+	// registry.
+	Obs *obs.Observer
 }
 
 // Manager is the per-node replication service. It participates in
@@ -98,6 +102,10 @@ type Manager struct {
 	store       *persistence.Store
 	protocol    Protocol
 	keepHistory bool
+	obs         *obs.Observer
+
+	propagations *obs.Counter
+	conflicts    *obs.Counter
 
 	mu         sync.Mutex
 	meta       map[object.ID]*replicaState
@@ -137,11 +145,17 @@ func NewManager(cfg Config) (*Manager, error) {
 		store:       cfg.Store,
 		protocol:    cfg.Protocol,
 		keepHistory: cfg.KeepHistory,
+		obs:         cfg.Obs,
 		meta:        make(map[object.ID]*replicaState),
 		tombstones:  make(map[object.ID]VersionVector),
 		dirty:       make(map[int64]*txChanges),
 		estimator:   func(_ object.ID, v int64) int64 { return v },
 	}
+	if m.obs == nil {
+		m.obs = obs.New()
+	}
+	m.propagations = m.obs.Counter("replication.propagations")
+	m.conflicts = m.obs.Counter("replication.conflicts")
 	for kind, h := range map[string]transport.Handler{
 		msgCreate: m.handleCreate,
 		msgApply:  m.handleApply,
@@ -452,6 +466,7 @@ func (m *Manager) Commit(t *tx.Tx) error {
 	}
 	degraded := m.Degraded()
 	view := m.view()
+	m.propagations.Add(int64(len(ch.order)))
 	var firstErr error
 	for _, id := range ch.order {
 		var err error

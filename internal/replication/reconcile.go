@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/transport"
 )
 
@@ -126,6 +127,10 @@ func (m *Manager) mergeRecords(peer transport.NodeID, records []Record, resolve 
 			// Concurrent: write-write conflict.
 			report.Conflicts++
 			report.ConflictIDs = append(report.ConflictIDs, rec.ID)
+			m.conflicts.Inc()
+			if m.obs.Tracing() {
+				m.obs.Emit(obs.EventReplicaConflict, fmt.Sprintf("%s with %s", rec.ID, peer))
+			}
 			if err := m.resolveConflict(rec, resolve); err != nil {
 				return err
 			}

@@ -1,0 +1,128 @@
+package repository
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dedisys/internal/constraint"
+)
+
+// Regression test: LookupAffected used to return the internal cached slice
+// when every registration was enabled; a caller appending to or reordering
+// the result corrupted the shared cache for all later queries.
+func TestLookupAffectedReturnsDefensiveCopy(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		t.Run(fmt.Sprintf("cached=%v", cached), func(t *testing.T) {
+			var r *Repository
+			if cached {
+				r = New(WithCache())
+			} else {
+				r = New()
+			}
+			for _, n := range []string{"C1", "C2"} {
+				if err := r.Register(meta(n, "F", "SetX", constraint.HardInvariant), trueConstraint()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Warm the cache (first query fills it), then vandalise the result.
+			got := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+			if len(got) != 2 {
+				t.Fatalf("lookup = %v", names(got))
+			}
+			got[0], got[1] = got[1], got[0]
+			got = append(got, got[0])
+			got[0] = nil
+
+			again := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+			if len(again) != 2 || again[0] == nil || again[1] == nil {
+				t.Fatalf("cache corrupted by caller mutation: %v", again)
+			}
+			if again[0].Meta.Name != "C1" || again[1].Meta.Name != "C2" {
+				t.Fatalf("cache order corrupted: %v", names(again))
+			}
+		})
+	}
+}
+
+// Appending to a lookup result must never clobber a neighbouring entry of
+// the cached backing array (the full-cap aliasing variant of the bug).
+func TestLookupAffectedAppendDoesNotAliasCache(t *testing.T) {
+	r := New(WithCache())
+	for _, n := range []string{"C1", "C2", "C3"} {
+		if err := r.Register(meta(n, "F", "SetX", constraint.HardInvariant), trueConstraint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.SetEnabled("C3", false); err != nil {
+		t.Fatal(err)
+	}
+	got := r.LookupAffected("F", "SetX", constraint.HardInvariant) // C1, C2
+	got = append(got, got[0])                                      // must not write into shared backing storage
+	_ = got
+	if err := r.SetEnabled("C3", true); err != nil {
+		t.Fatal(err)
+	}
+	again := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+	if len(again) != 3 || again[2].Meta.Name != "C3" {
+		t.Fatalf("cached slice clobbered by append: %v", names(again))
+	}
+}
+
+// -race coverage: concurrent Register/Unregister/SetEnabled/LookupAffected
+// over both repository variants.
+func TestConcurrentRepositoryAccess(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		t.Run(fmt.Sprintf("cached=%v", cached), func(t *testing.T) {
+			var r *Repository
+			if cached {
+				r = New(WithCache())
+			} else {
+				r = New()
+			}
+			// A stable population so lookups always have something to find.
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("stable%d", i)
+				if err := r.Register(meta(name, "F", "SetX", constraint.HardInvariant), trueConstraint()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			const workers = 4
+			const iters = 300
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					churn := fmt.Sprintf("churn%d", w)
+					for i := 0; i < iters; i++ {
+						switch i % 4 {
+						case 0:
+							_ = r.Register(meta(churn, "F", "SetX", constraint.HardInvariant), trueConstraint())
+						case 1:
+							_ = r.SetEnabled(fmt.Sprintf("stable%d", i%4), i%8 < 4)
+						case 2:
+							got := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+							// Mutating results must always be safe.
+							if len(got) > 0 {
+								got[0] = nil
+							}
+						case 3:
+							_ = r.Unregister(churn)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			for i := 0; i < 4; i++ {
+				if err := r.SetEnabled(fmt.Sprintf("stable%d", i), true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+			if len(got) < 4 {
+				t.Fatalf("stable registrations lost: %v", names(got))
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"dedisys/internal/constraint"
+	"dedisys/internal/obs"
 )
 
 // Errors returned by the repository.
@@ -56,19 +57,26 @@ func WithCache() Option {
 	return func(r *Repository) { r.cached = true }
 }
 
+// WithObserver attaches the repository to a shared observability scope;
+// without it the repository observes into a private registry.
+func WithObserver(o *obs.Observer) Option {
+	return func(r *Repository) { r.obs = o }
+}
+
 // Repository is the runtime constraint repository. It is safe for concurrent
 // use.
 type Repository struct {
 	cached bool
+	obs    *obs.Observer
 
 	mu     sync.RWMutex
 	byName map[string]*Registered
 	all    []*Registered // registration order for deterministic scans
 	cache  map[lookupKey][]*Registered
 
-	searches  atomic.Int64
-	cacheHits atomic.Int64
-	scanned   atomic.Int64
+	searches  *obs.Counter
+	cacheHits *obs.Counter
+	scanned   *obs.Counter
 }
 
 type lookupKey struct {
@@ -86,6 +94,12 @@ func New(opts ...Option) *Repository {
 	for _, o := range opts {
 		o(r)
 	}
+	if r.obs == nil {
+		r.obs = obs.New()
+	}
+	r.searches = r.obs.Counter("repository.searches")
+	r.cacheHits = r.obs.Counter("repository.cache_hits")
+	r.scanned = r.obs.Counter("repository.scanned")
 	return r
 }
 
@@ -189,21 +203,20 @@ func (r *Repository) Len() int {
 // LookupAffected returns the enabled constraints of the given type that are
 // affected by an invocation of class.method, in registration order.
 func (r *Repository) LookupAffected(class, method string, ctype constraint.Type) []*Registered {
-	r.searches.Add(1)
+	r.searches.Inc()
 	key := lookupKey{class: class, method: method, ctype: ctype}
 	if r.cached {
 		r.mu.RLock()
 		hit, ok := r.cache[key]
 		r.mu.RUnlock()
 		if ok {
-			r.cacheHits.Add(1)
+			r.cacheHits.Inc()
 			return filterEnabled(hit)
 		}
 	}
 	r.mu.RLock()
 	var matches []*Registered
 	for _, reg := range r.all {
-		r.scanned.Add(1)
 		if reg.Meta.Type != ctype {
 			continue
 		}
@@ -214,6 +227,7 @@ func (r *Repository) LookupAffected(class, method string, ctype constraint.Type)
 			}
 		}
 	}
+	r.scanned.Add(int64(len(r.all)))
 	r.mu.RUnlock()
 	if r.cached {
 		r.mu.Lock()
@@ -255,9 +269,9 @@ func (r *Repository) Stats() Stats {
 
 // ResetStats zeroes the operation counters.
 func (r *Repository) ResetStats() {
-	r.searches.Store(0)
-	r.cacheHits.Store(0)
-	r.scanned.Store(0)
+	r.searches.Reset()
+	r.cacheHits.Reset()
+	r.scanned.Reset()
 }
 
 func (r *Repository) invalidateLocked() {
@@ -266,17 +280,13 @@ func (r *Repository) invalidateLocked() {
 	}
 }
 
+// filterEnabled returns the enabled subset of regs in a freshly allocated
+// slice. regs may be (an alias of) a cached lookup result, so the input is
+// never returned directly: callers own the returned slice and may append to
+// or reorder it without corrupting the cache.
 func filterEnabled(regs []*Registered) []*Registered {
-	// Fast path: everything enabled (the common case) avoids allocation.
-	allEnabled := true
-	for _, reg := range regs {
-		if !reg.Enabled() {
-			allEnabled = false
-			break
-		}
-	}
-	if allEnabled {
-		return regs
+	if len(regs) == 0 {
+		return nil
 	}
 	out := make([]*Registered, 0, len(regs))
 	for _, reg := range regs {

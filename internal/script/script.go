@@ -37,6 +37,7 @@ import (
 	"dedisys/internal/core"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/reconcile"
 	"dedisys/internal/replication"
 	"dedisys/internal/threat"
@@ -79,6 +80,9 @@ func Parse(r io.Reader) ([]Command, error) {
 // Engine executes scenario scripts.
 type Engine struct {
 	Out io.Writer
+	// Obs, when set before Run, is shared by the cluster the script builds;
+	// callers dump its registry and trace after the run (--metrics/--trace).
+	Obs *obs.Observer
 
 	cluster     *node.Cluster
 	constraints []constraint.Configured
@@ -199,6 +203,7 @@ func (e *Engine) cmdCluster(args []string) error {
 		o.RepoCache = true
 		o.Protocol = proto
 		o.ThreatPolicy = threat.IdenticalOnce
+		o.Obs = e.Obs
 	})
 	if err != nil {
 		return err

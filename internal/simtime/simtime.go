@@ -1,0 +1,32 @@
+// Package simtime provides the shared simulated-hardware cost model used by
+// every layer that charges synthetic latency (network hops, database writes,
+// calibration probes). The evaluation reproduces sub-millisecond costs, and
+// time.Sleep oversleeps by orders of magnitude below ~100µs, which would
+// distort the benchmarked ratios; Charge therefore busy-waits below
+// SpinThreshold and sleeps above it.
+//
+// Keeping the model in one place guarantees that calibration changes cannot
+// drift between the transport, persistence and timing layers.
+package simtime
+
+import "time"
+
+// SpinThreshold is the duration above which Charge trusts time.Sleep. Below
+// it the scheduler's wake-up jitter dominates the charged cost, so Charge
+// spins instead.
+const SpinThreshold = time.Millisecond
+
+// Charge blocks the calling goroutine for approximately d, simulating the
+// cost of one hardware operation. Non-positive durations cost nothing.
+func Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= SpinThreshold {
+		time.Sleep(d)
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

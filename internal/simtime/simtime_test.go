@@ -1,0 +1,39 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestChargeZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Charge(0)
+	Charge(-time.Second)
+	if elapsed := time.Since(start); elapsed > 5*time.Millisecond {
+		t.Fatalf("non-positive charges took %s", elapsed)
+	}
+}
+
+func TestChargeSubMillisecondAccuracy(t *testing.T) {
+	const d = 200 * time.Microsecond
+	start := time.Now()
+	Charge(d)
+	elapsed := time.Since(start)
+	if elapsed < d {
+		t.Fatalf("charged %s, want at least %s", elapsed, d)
+	}
+	// The spin loop should not overshoot the way time.Sleep does at this
+	// scale; allow generous headroom for preemption.
+	if elapsed > 20*d {
+		t.Fatalf("charged %s for a %s cost", elapsed, d)
+	}
+}
+
+func TestChargeAboveThresholdSleeps(t *testing.T) {
+	const d = 2 * time.Millisecond
+	start := time.Now()
+	Charge(d)
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("charged %s, want at least %s", elapsed, d)
+	}
+}

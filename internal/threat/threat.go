@@ -12,6 +12,7 @@ import (
 
 	"dedisys/internal/constraint"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/persistence"
 )
 
@@ -102,6 +103,7 @@ func (p StorePolicy) String() string {
 // under IdenticalOnce it costs a single read.
 type Store struct {
 	backing *persistence.Store
+	obs     *obs.Observer
 
 	mu      sync.Mutex
 	owner   string
@@ -110,21 +112,44 @@ type Store struct {
 	byID    map[int64]*Threat
 	byIdent map[string][]int64
 	byUID   map[string]int64
+
+	stored  *obs.Counter
+	folded  *obs.Counter
+	removed *obs.Counter
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithObserver attaches the threat store to a shared observability scope;
+// without it the store observes into a private registry.
+func WithObserver(o *obs.Observer) Option {
+	return func(s *Store) { s.obs = o }
 }
 
 // NewStore creates a threat store with the given policy over the node's
 // persistent store.
-func NewStore(backing *persistence.Store, policy StorePolicy) *Store {
+func NewStore(backing *persistence.Store, policy StorePolicy, opts ...Option) *Store {
 	if policy == 0 {
 		policy = IdenticalOnce
 	}
-	return &Store{
+	s := &Store{
 		backing: backing,
 		policy:  policy,
 		byID:    make(map[int64]*Threat),
 		byIdent: make(map[string][]int64),
 		byUID:   make(map[string]int64),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.obs == nil {
+		s.obs = obs.New()
+	}
+	s.stored = s.obs.Counter("threat.stored")
+	s.folded = s.obs.Counter("threat.folded")
+	s.removed = s.obs.Counter("threat.removed")
+	return s
 }
 
 // SetOwner names this store's node; locally created threats are stamped
@@ -159,6 +184,7 @@ func (s *Store) Add(t Threat) (Threat, bool, error) {
 		if seq, ok := s.byUID[t.UID]; ok {
 			copyOf := *s.byID[seq]
 			s.mu.Unlock()
+			s.folded.Inc()
 			return copyOf, false, nil
 		}
 	}
@@ -169,6 +195,7 @@ func (s *Store) Add(t Threat) (Threat, bool, error) {
 		first.Count++
 		folded := *first
 		s.mu.Unlock()
+		s.folded.Inc()
 		// Detecting the duplicate costs a read on the database (§5.5.1).
 		_ = s.backing.Has(table, key(folded.Seq))
 		return folded, false, nil
@@ -189,6 +216,7 @@ func (s *Store) Add(t Threat) (Threat, bool, error) {
 	}
 	isRepeat := len(existing) > 0
 	s.mu.Unlock()
+	s.stored.Inc()
 
 	// Persist: three records for a first occurrence, two for an additional
 	// identical occurrence under FullHistory (§5.2).
@@ -264,6 +292,7 @@ func (s *Store) RemoveIdentity(ident string) int {
 		s.backing.Delete(table, key(seq)+"/affected")
 		s.backing.Delete(table, key(seq)+"/appdata")
 	}
+	s.removed.Add(int64(len(seqs)))
 	return len(seqs)
 }
 
@@ -291,6 +320,7 @@ func (s *Store) Remove(seq int64) {
 	s.mu.Unlock()
 	if ok {
 		s.backing.Delete(table, key(seq))
+		s.removed.Inc()
 	}
 }
 

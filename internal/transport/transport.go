@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"dedisys/internal/obs"
+	"dedisys/internal/simtime"
 )
 
 // NodeID names one node of the system.
@@ -51,21 +53,7 @@ type CostModel struct {
 }
 
 func (c CostModel) charge() {
-	if c.PerMessage > 0 {
-		busyWait(c.PerMessage)
-	}
-}
-
-// busyWait spins for very short durations (time.Sleep oversleeps by orders
-// of magnitude below ~100µs, which would distort the benchmarked ratios).
-func busyWait(d time.Duration) {
-	if d >= time.Millisecond {
-		time.Sleep(d)
-		return
-	}
-	end := time.Now().Add(d)
-	for time.Now().Before(end) {
-	}
+	simtime.Charge(c.PerMessage)
 }
 
 // DropFunc decides whether one message is lost in transit (the paper's link
@@ -76,6 +64,7 @@ type DropFunc func(from, to NodeID, kind string) bool
 // Network is the simulated fabric. It is safe for concurrent use.
 type Network struct {
 	cost CostModel
+	obs  *obs.Observer
 
 	mu       sync.RWMutex
 	nodes    map[NodeID]*endpoint
@@ -84,9 +73,10 @@ type Network struct {
 	watchers []func()
 	drop     DropFunc
 
-	messages atomic.Int64
-	failures atomic.Int64
-	dropped  atomic.Int64
+	messages *obs.Counter
+	failures *obs.Counter
+	dropped  *obs.Counter
+	sendTime *obs.Histogram
 }
 
 type endpoint struct {
@@ -103,6 +93,12 @@ func WithCost(c CostModel) Option {
 	return func(n *Network) { n.cost = c }
 }
 
+// WithObserver attaches the fabric to a shared observability scope; without
+// it the network observes into a private registry.
+func WithObserver(o *obs.Observer) Option {
+	return func(n *Network) { n.obs = o }
+}
+
 // NewNetwork creates an empty fabric.
 func NewNetwork(opts ...Option) *Network {
 	n := &Network{
@@ -112,8 +108,18 @@ func NewNetwork(opts ...Option) *Network {
 	for _, o := range opts {
 		o(n)
 	}
+	if n.obs == nil {
+		n.obs = obs.New()
+	}
+	n.messages = n.obs.Counter("transport.messages")
+	n.failures = n.obs.Counter("transport.failures")
+	n.dropped = n.obs.Counter("transport.dropped")
+	n.sendTime = n.obs.Histogram("transport.send.duration")
 	return n
 }
+
+// Observer returns the network's observability scope.
+func (n *Network) Observer() *obs.Observer { return n.obs }
 
 // Join adds a node to the fabric (initially in the common partition).
 func (n *Network) Join(id NodeID) error {
@@ -167,15 +173,18 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) (any, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
 	}
 	if !reachable {
-		n.failures.Add(1)
+		n.failures.Inc()
 		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
 	n.mu.RLock()
 	drop := n.drop
 	n.mu.RUnlock()
 	if drop != nil && drop(from, to, kind) {
-		n.dropped.Add(1)
-		n.failures.Add(1)
+		n.dropped.Inc()
+		n.failures.Inc()
+		if n.obs.Tracing() {
+			n.obs.Emit(obs.EventMessageDrop, fmt.Sprintf("%s -> %s %s", from, to, kind))
+		}
 		return nil, fmt.Errorf("%w: %s -> %s (message lost)", ErrUnreachable, from, to)
 	}
 	ep.mu.RLock()
@@ -185,7 +194,16 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) (any, error) {
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoHandler, kind, to)
 	}
 	n.cost.charge()
-	n.messages.Add(1)
+	n.messages.Inc()
+	if n.obs.Tracing() {
+		// Timing and event emission only when tracing is on: the hot path
+		// stays at atomic counter cost so CCM-overhead ratios are unaffected.
+		n.obs.Emit(obs.EventMessageSend, fmt.Sprintf("%s -> %s %s", from, to, kind))
+		start := time.Now()
+		res, err := h(from, payload)
+		n.sendTime.Observe(time.Since(start))
+		return res, err
+	}
 	return h(from, payload)
 }
 
@@ -320,6 +338,6 @@ func (n *Network) Stats() Stats {
 
 // ResetStats zeroes the delivery counters.
 func (n *Network) ResetStats() {
-	n.messages.Store(0)
-	n.failures.Store(0)
+	n.messages.Reset()
+	n.failures.Reset()
 }

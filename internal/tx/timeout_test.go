@@ -1,0 +1,92 @@
+package tx
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dedisys/internal/object"
+	"dedisys/internal/obs"
+)
+
+// Regression test: lockTable.acquire waited in fixed 10 ms ticks, so a lock
+// timeout shorter than one tick expired only after the full tick (a 2 ms
+// timeout reported failure after ~10 ms). The wait must be bounded by the
+// remaining deadline.
+func TestLockTimeoutPrecision(t *testing.T) {
+	const timeout = 2 * time.Millisecond
+	m := NewManager(WithLockTimeout(timeout))
+	holder := m.Begin()
+	id := object.ID("obj-1")
+	if err := holder.Lock(id); err != nil {
+		t.Fatal(err)
+	}
+
+	waiter := m.Begin()
+	start := time.Now()
+	err := waiter.Lock(id)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("Lock = %v, want ErrLockTimeout", err)
+	}
+	if elapsed < timeout {
+		t.Fatalf("timeout fired after %v, before the %v deadline", elapsed, timeout)
+	}
+	// Pre-fix the waiter slept a full 10 ms tick; post-fix it wakes at the
+	// deadline. Allow generous scheduler slack while staying below a tick.
+	if elapsed >= 9*time.Millisecond {
+		t.Fatalf("timeout fired after %v, overshooting the %v deadline by most of a tick", elapsed, timeout)
+	}
+	if got := m.obs.Registry().Counter("tx.lock.timeouts").Load(); got != 1 {
+		t.Fatalf("tx.lock.timeouts = %d, want 1", got)
+	}
+}
+
+// The lock must still be handed over promptly when released before the
+// deadline, and the manager's lifecycle counters must track outcomes.
+func TestLockHandoverAndLifecycleCounters(t *testing.T) {
+	o := obs.New()
+	o.Tracer().SetEnabled(true)
+	m := NewManager(WithLockTimeout(500*time.Millisecond), WithObserver(o))
+	id := object.ID("obj-2")
+
+	holder := m.Begin()
+	if err := holder.Lock(id); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	waiter := m.Begin()
+	go func() { got <- waiter.Lock(id) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := holder.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter.Lock = %v after release", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by lock release")
+	}
+	if err := waiter.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := o.Registry()
+	if got := reg.Counter("tx.begun").Load(); got != 2 {
+		t.Fatalf("tx.begun = %d, want 2", got)
+	}
+	if got := reg.Counter("tx.committed").Load(); got != 1 {
+		t.Fatalf("tx.committed = %d, want 1", got)
+	}
+	if got := reg.Counter("tx.rolled_back").Load(); got != 1 {
+		t.Fatalf("tx.rolled_back = %d, want 1", got)
+	}
+	if got := reg.Counter("tx.lock.timeouts").Load(); got != 0 {
+		t.Fatalf("tx.lock.timeouts = %d, want 0", got)
+	}
+	if reg.Histogram("tx.lock.wait").Count() < 2 {
+		t.Fatalf("tx.lock.wait count = %d, want >= 2", reg.Histogram("tx.lock.wait").Count())
+	}
+}

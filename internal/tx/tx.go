@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 )
 
 // Errors of the transaction layer.
@@ -68,11 +69,18 @@ type Resource interface {
 type Manager struct {
 	seq         atomic.Int64
 	lockTimeout time.Duration
+	obs         *obs.Observer
 
 	mu        sync.Mutex
 	resources []Resource
 
 	locks *lockTable
+
+	begun        *obs.Counter
+	committed    *obs.Counter
+	rolledBack   *obs.Counter
+	lockTimeouts *obs.Counter
+	lockWait     *obs.Histogram
 }
 
 // Option configures a Manager.
@@ -81,6 +89,12 @@ type Option func(*Manager)
 // WithLockTimeout overrides the default object-lock acquisition timeout.
 func WithLockTimeout(d time.Duration) Option {
 	return func(m *Manager) { m.lockTimeout = d }
+}
+
+// WithObserver attaches the manager to a shared observability scope; without
+// it the manager observes into a private registry.
+func WithObserver(o *obs.Observer) Option {
+	return func(m *Manager) { m.obs = o }
 }
 
 // NewManager creates a transaction manager.
@@ -92,6 +106,14 @@ func NewManager(opts ...Option) *Manager {
 	for _, o := range opts {
 		o(m)
 	}
+	if m.obs == nil {
+		m.obs = obs.New()
+	}
+	m.begun = m.obs.Counter("tx.begun")
+	m.committed = m.obs.Counter("tx.committed")
+	m.rolledBack = m.obs.Counter("tx.rolled_back")
+	m.lockTimeouts = m.obs.Counter("tx.lock.timeouts")
+	m.lockWait = m.obs.Histogram("tx.lock.wait")
 	return m
 }
 
@@ -108,6 +130,7 @@ func (m *Manager) Begin() *Tx {
 	global := make([]Resource, len(m.resources))
 	copy(global, m.resources)
 	m.mu.Unlock()
+	m.begun.Inc()
 	return &Tx{
 		id:        m.seq.Add(1),
 		mgr:       m,
@@ -176,7 +199,22 @@ func (t *Tx) Lock(id object.ID) error {
 	if _, ok := t.held[id]; ok {
 		return nil
 	}
-	if err := t.mgr.locks.acquire(id, t.id, t.mgr.lockTimeout); err != nil {
+	m := t.mgr
+	var err error
+	if m.obs.Tracing() {
+		// Wait-time measurement only when tracing: the common path pays no
+		// clock reads beyond what acquire itself needs.
+		start := time.Now()
+		err = m.locks.acquire(id, t.id, m.lockTimeout)
+		m.lockWait.Observe(time.Since(start))
+	} else {
+		err = m.locks.acquire(id, t.id, m.lockTimeout)
+	}
+	if err != nil {
+		m.lockTimeouts.Inc()
+		if m.obs.Tracing() {
+			m.obs.Emit(obs.EventLockTimeout, fmt.Sprintf("tx %d: %v", t.id, err))
+		}
 		return err
 	}
 	t.held[id] = struct{}{}
@@ -278,6 +316,12 @@ func (t *Tx) rollback() {
 
 func (t *Tx) finish(s Status) {
 	t.status = s
+	switch s {
+	case Committed:
+		t.mgr.committed.Inc()
+	case RolledBack:
+		t.mgr.rolledBack.Inc()
+	}
 	for id := range t.held {
 		t.mgr.locks.release(id, t.id)
 	}
@@ -311,12 +355,18 @@ func (lt *lockTable) acquire(id object.ID, txID int64, timeout time.Duration) er
 		if owner == txID {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
 			return fmt.Errorf("%w: object %s held by tx %d", ErrLockTimeout, id, owner)
 		}
 		// Wake periodically to re-check the deadline; broadcast on release
-		// normally wakes us first.
-		waitWithTimeout(lt.cond, 10*time.Millisecond)
+		// normally wakes us first. Never wait past the deadline: a timeout
+		// shorter than one tick must still expire on time.
+		wait := 10 * time.Millisecond
+		if remaining < wait {
+			wait = remaining
+		}
+		waitWithTimeout(lt.cond, wait)
 	}
 }
 
