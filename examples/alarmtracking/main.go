@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -83,7 +84,7 @@ func run() error {
 
 	// The link recovers; reconciliation re-evaluates the threat.
 	cluster.Heal()
-	report, err := reconcile.Run(tech, []transport.NodeID{admin.ID}, reconcile.Handlers{
+	report, err := reconcile.Run(context.Background(), tech, []transport.NodeID{admin.ID}, reconcile.Handlers{
 		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
 			fmt.Printf("reconciliation: %s violated — technician re-files for a Power Supply\n", th.Constraint)
 			if _, err := tech.Invoke("report-7", "SetAffectedComponent", "Power Supply"); err != nil {

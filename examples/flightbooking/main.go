@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -69,7 +70,7 @@ func run() error {
 
 	// The link is repaired; reconciliation runs in two phases.
 	cluster.Heal()
-	report, err := reconcile.Run(nA, []transport.NodeID{nB.ID}, reconcile.Handlers{
+	report, err := reconcile.Run(context.Background(), nA, []transport.NodeID{nB.ID}, reconcile.Handlers{
 		// Phase 1 callback: the replica consistency handler merges the
 		// divergent sales figures (70 + 7 + 8 = 85).
 		ReplicaResolver: func(c replication.Conflict) (object.State, error) {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -60,10 +61,10 @@ func run() error {
 	}
 	// Exchange placement metadata so cross-site validation can reach the
 	// peer endpoint.
-	if _, err := siteA.Repl.ReconcileWith([]transport.NodeID{siteB.ID}, nil); err != nil {
+	if _, err := siteA.Repl.ReconcileWith(context.Background(), []transport.NodeID{siteB.ID}, nil); err != nil {
 		return err
 	}
-	if _, err := siteB.Repl.ReconcileWith([]transport.NodeID{siteA.ID}, nil); err != nil {
+	if _, err := siteB.Repl.ReconcileWith(context.Background(), []transport.NodeID{siteA.ID}, nil); err != nil {
 		return err
 	}
 	fmt.Println("healthy: channel 'tower' configured 118.000 MHz / G.711 on both sites")
@@ -89,7 +90,7 @@ func run() error {
 	// Link repaired: reconciliation re-validates and the handler pushes
 	// site A's configuration to the peer (roll-forward repair).
 	cluster.Heal()
-	report, err := reconcile.Run(siteA, []transport.NodeID{siteB.ID}, reconcile.Handlers{
+	report, err := reconcile.Run(context.Background(), siteA, []transport.NodeID{siteB.ID}, reconcile.Handlers{
 		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
 			ep, err := siteA.Registry.Get(th.ContextID)
 			if err != nil {

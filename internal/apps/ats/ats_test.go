@@ -1,6 +1,7 @@
 package ats
 
 import (
+	"context"
 	"testing"
 
 	"dedisys/internal/constraint"
@@ -121,7 +122,7 @@ func TestDegradedAcceptsPossiblyViolated(t *testing.T) {
 	// After healing, reconciliation detects the actual violation.
 	c.Heal()
 	var violated []string
-	report, err := reconcile.Run(n2, []transport.NodeID{"n1"}, reconcile.Handlers{
+	report, err := reconcile.Run(context.Background(), n2, []transport.NodeID{"n1"}, reconcile.Handlers{
 		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
 			violated = append(violated, th.Constraint)
 			// The technical operator re-files the report for the power fix.
@@ -176,7 +177,7 @@ func TestUnreachableAlarmIsUncheckable(t *testing.T) {
 		t.Fatal(err)
 	}
 	// n2 must learn about a1's placement for remote lookups.
-	if _, err := n2.Repl.ReconcileWith([]transport.NodeID{"n1"}, nil); err != nil {
+	if _, err := n2.Repl.ReconcileWith(context.Background(), []transport.NodeID{"n1"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	c.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})

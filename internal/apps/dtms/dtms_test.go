@@ -1,6 +1,7 @@
 package dtms
 
 import (
+	"context"
 	"testing"
 
 	"dedisys/internal/constraint"
@@ -35,10 +36,10 @@ func setupDTMS(t *testing.T) *node.Cluster {
 		t.Fatal(err)
 	}
 	// Exchange placement metadata (the naming/location step).
-	if _, err := siteA.Repl.ReconcileWith([]transport.NodeID{siteB.ID}, nil); err != nil {
+	if _, err := siteA.Repl.ReconcileWith(context.Background(), []transport.NodeID{siteB.ID}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := siteB.Repl.ReconcileWith([]transport.NodeID{siteA.ID}, nil); err != nil {
+	if _, err := siteB.Repl.ReconcileWith(context.Background(), []transport.NodeID{siteA.ID}, nil); err != nil {
 		t.Fatal(err)
 	}
 	return c
@@ -96,7 +97,7 @@ func TestReconciliationRepairsChannel(t *testing.T) {
 
 	// The reconciliation handler re-synchronises the channel: site A's
 	// configuration (the latest intent) is applied to the peer endpoint.
-	report, err := reconcile.Run(siteA, []transport.NodeID{siteB.ID}, reconcile.Handlers{
+	report, err := reconcile.Run(context.Background(), siteA, []transport.NodeID{siteB.ID}, reconcile.Handlers{
 		ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
 			ep, err := siteA.Registry.Get(th.ContextID)
 			if err != nil {

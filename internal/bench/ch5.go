@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -427,7 +428,7 @@ func multicastTxCeiling(c *node.Cluster, cfg Config) (float64, error) {
 	return timeOps(cfg.Ops, func(i int) error {
 		t := txm.Begin()
 		for _, p := range peers {
-			if _, err := c.Net.Send(n.ID, p, "bench.ping", i); err != nil {
+			if _, err := c.Net.Send(context.Background(), n.ID, p, "bench.ping", i); err != nil {
 				_ = t.Rollback()
 				return err
 			}
@@ -472,7 +473,7 @@ func runFig56(cfg Config) (*Result, error) {
 		}
 		records := n1.Threats.Len()
 		c.Heal()
-		report, err := reconcile.Run(n1, []transport.NodeID{"n2"}, reconcile.Handlers{DropHistoryAfter: true})
+		report, err := reconcile.Run(context.Background(), n1, []transport.NodeID{"n2"}, reconcile.Handlers{DropHistoryAfter: true})
 		if err != nil {
 			return nil, err
 		}

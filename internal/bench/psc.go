@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"dedisys/internal/apps/flight"
 	"dedisys/internal/constraint"
 	"dedisys/internal/node"
@@ -75,7 +76,7 @@ func runPSC(cfg Config) (*Result, error) {
 		soldB := sell(n2)
 
 		c.Heal()
-		_, err = n1.Repl.ReconcileWith([]transport.NodeID{"n2"}, func(cf replication.Conflict) (object.State, error) {
+		_, err = n1.Repl.ReconcileWith(context.Background(), []transport.NodeID{"n2"}, func(cf replication.Conflict) (object.State, error) {
 			merged := cf.Local.Clone()
 			local := cf.Local[flight.AttrSold].(int64)
 			remote := cf.Remote[flight.AttrSold].(int64)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dedisys/internal/constraint"
@@ -14,6 +15,7 @@ import (
 // of them are possibly stale (Figure 4.4).
 type valContext struct {
 	ccm        *Manager
+	callCtx    context.Context // caller's deadline/cancellation for lookups
 	contextObj *object.Entity
 	called     *object.Entity
 	method     string
@@ -28,9 +30,13 @@ type valContext struct {
 
 var _ constraint.Context = (*valContext)(nil)
 
-func (m *Manager) newContext(contextObj, called *object.Entity, method string, args []any, result any) *valContext {
+func (m *Manager) newContext(callCtx context.Context, contextObj, called *object.Entity, method string, args []any, result any) *valContext {
+	if callCtx == nil {
+		callCtx = context.Background()
+	}
 	ctx := &valContext{
 		ccm:        m,
+		callCtx:    callCtx,
 		contextObj: contextObj,
 		called:     called,
 		method:     method,
@@ -57,7 +63,7 @@ func (ctx *valContext) recordLocal(e *object.Entity) {
 	}
 	st := constraint.Staleness{Version: e.Version(), EstimatedLatest: e.Version()}
 	if ctx.ccm.repl != nil {
-		if _, s, err := ctx.ccm.repl.Lookup(e.ID()); err == nil {
+		if _, s, err := ctx.ccm.repl.Lookup(ctx.callCtx, e.ID()); err == nil {
 			st = s
 		}
 	}
@@ -90,7 +96,7 @@ func (ctx *valContext) PartitionWeight() float64 { return ctx.ccm.partitionWeigh
 // replication manager, records the access, and converts unreachability into
 // ErrUncheckable.
 func (ctx *valContext) Lookup(id object.ID) (*object.Entity, error) {
-	e, st, err := ctx.ccm.lookup(id)
+	e, st, err := ctx.ccm.lookup(ctx.callCtx, id)
 	if err != nil {
 		ctx.unreachable = true
 		if _, ok := ctx.seen[id]; !ok {

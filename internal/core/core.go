@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -285,21 +286,21 @@ func (m *Manager) handleThreatRemove(from transport.NodeID, payload any) (any, e
 
 // removeIdentityEverywhere removes a threat identity locally and on all
 // reachable view members, keeping the replicated threat stores convergent.
-func (m *Manager) removeIdentityEverywhere(ident string) {
+func (m *Manager) removeIdentityEverywhere(callCtx context.Context, ident string) {
 	m.threats.RemoveIdentity(ident)
 	if m.comm == nil || m.gms == nil {
 		return
 	}
-	for _, res := range m.comm.Multicast(m.self, m.gms.ViewOf(m.self).Members, msgThreatRemove, ident) {
+	for _, res := range m.comm.Multicast(callCtx, m.self, m.gms.ViewOf(m.self).Members, msgThreatRemove, ident) {
 		_ = res // unreachable members converge at their next reconciliation
 	}
 }
 
 // lookup resolves an object through the replication manager, which reports
 // staleness; without replication it falls back to the local registry.
-func (m *Manager) lookup(id object.ID) (*object.Entity, constraint.Staleness, error) {
+func (m *Manager) lookup(callCtx context.Context, id object.ID) (*object.Entity, constraint.Staleness, error) {
 	if m.repl != nil {
-		return m.repl.Lookup(id)
+		return m.repl.Lookup(callCtx, id)
 	}
 	e, err := m.registry.Get(id)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -388,11 +389,11 @@ func TestPartitionWeightInContext(t *testing.T) {
 
 func TestHandleThreatAddBadPayload(t *testing.T) {
 	env := newReplEnv(t)
-	if _, err := env.net.Send("n2", "n1", "ccm.threat.add", "not a threat"); err == nil {
+	if _, err := env.net.Send(context.Background(), "n2", "n1", "ccm.threat.add", "not a threat"); err == nil {
 		t.Fatal("bad payload accepted")
 	}
 	th := threat.Threat{Constraint: "C1", ContextID: "f1", Degree: constraint.PossiblySatisfied}
-	if _, err := env.net.Send("n2", "n1", "ccm.threat.add", th); err != nil {
+	if _, err := env.net.Send(context.Background(), "n2", "n1", "ccm.threat.add", th); err != nil {
 		t.Fatal(err)
 	}
 	if env.ths.Len() != 1 {
@@ -406,7 +407,7 @@ func TestReconcileThreatsDropsUnknownConstraint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := env.ccm.ReconcileThreats()
+	report, err := env.ccm.ReconcileThreats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -48,7 +49,7 @@ func (m *Manager) beforeInvocation(inv *invocation.Invocation) error {
 
 	// Preconditions are bound to and checked before the method (§1.6).
 	for _, reg := range m.repo.LookupAffected(inv.Class, inv.Method, constraint.Pre) {
-		ctx := m.newContext(nil, called, inv.Method, inv.Args, nil)
+		ctx := m.newContext(inv.Context(), nil, called, inv.Method, inv.Args, nil)
 		if err := m.validateOne(inv.Tx, reg, ctx, inv.Method); err != nil {
 			return err
 		}
@@ -60,7 +61,7 @@ func (m *Manager) beforeInvocation(inv *invocation.Invocation) error {
 	if len(posts) > 0 {
 		ctxs := make(map[string]*valContext, len(posts))
 		for _, reg := range posts {
-			ctx := m.newContext(nil, called, inv.Method, inv.Args, nil)
+			ctx := m.newContext(inv.Context(), nil, called, inv.Method, inv.Args, nil)
 			if bv, ok := reg.Impl.(constraint.BeforeValidator); ok {
 				bv.BeforeInvocation(ctx)
 			}
@@ -85,7 +86,7 @@ func (m *Manager) afterInvocation(inv *invocation.Invocation) error {
 	for _, reg := range m.repo.LookupAffected(inv.Class, inv.Method, constraint.Post) {
 		ctx := ctxs[reg.Meta.Name]
 		if ctx == nil {
-			ctx = m.newContext(nil, called, inv.Method, inv.Args, inv.Result)
+			ctx = m.newContext(inv.Context(), nil, called, inv.Method, inv.Args, inv.Result)
 		} else {
 			ctx.result = inv.Result
 		}
@@ -96,7 +97,7 @@ func (m *Manager) afterInvocation(inv *invocation.Invocation) error {
 
 	// Hard invariants are checked at the end of the operation (§1.6).
 	for _, reg := range m.repo.LookupAffected(inv.Class, inv.Method, constraint.HardInvariant) {
-		ctx, err := m.invariantContext(reg, called, inv.Method, inv.Args)
+		ctx, err := m.invariantContext(inv.Context(), reg, called, inv.Method, inv.Args)
 		if err != nil {
 			return err
 		}
@@ -118,7 +119,7 @@ func (m *Manager) afterInvocation(inv *invocation.Invocation) error {
 
 // invariantContext resolves the context object via the constraint's
 // preparation strategy and builds the validation context.
-func (m *Manager) invariantContext(reg *repository.Registered, called *object.Entity, method string, args []any) (*valContext, error) {
+func (m *Manager) invariantContext(callCtx context.Context, reg *repository.Registered, called *object.Entity, method string, args []any) (*valContext, error) {
 	var ctxObj *object.Entity
 	if reg.Meta.NeedsContext {
 		prep := prepFor(reg, called.Class(), method)
@@ -126,7 +127,7 @@ func (m *Manager) invariantContext(reg *repository.Registered, called *object.En
 			return nil, fmt.Errorf("core: constraint %s: no context preparation for %s.%s", reg.Meta.Name, called.Class(), method)
 		}
 		obj, err := prep.ContextObject(called, func(id object.ID) (*object.Entity, error) {
-			e, _, err := m.lookup(id)
+			e, _, err := m.lookup(callCtx, id)
 			return e, err
 		})
 		if err != nil {
@@ -136,7 +137,7 @@ func (m *Manager) invariantContext(reg *repository.Registered, called *object.En
 			ctxObj = obj
 		}
 	}
-	ctx := m.newContext(ctxObj, called, method, args, nil)
+	ctx := m.newContext(callCtx, ctxObj, called, method, args, nil)
 	if reg.Meta.NeedsContext && ctxObj == nil {
 		ctx.unreachable = true
 	}
@@ -175,7 +176,7 @@ func (m *Manager) deferInvariant(t *tx.Tx, reg *repository.Registered, called *o
 		}
 		if prep != nil {
 			if obj, err := prep.ContextObject(called, func(id object.ID) (*object.Entity, error) {
-				e, _, err := m.lookup(id)
+				e, _, err := m.lookup(t.Context(), id)
 				return e, err
 			}); err == nil && obj != nil {
 				contextID = obj.ID()
@@ -230,14 +231,14 @@ func (m *Manager) Prepare(t *tx.Tx) error {
 		var ctxObj *object.Entity
 		unreachable := false
 		if reg.Meta.NeedsContext {
-			e, _, err := m.lookup(p.contextID)
+			e, _, err := m.lookup(t.Context(), p.contextID)
 			if err != nil {
 				unreachable = true
 			} else {
 				ctxObj = e
 			}
 		}
-		ctx := m.newContext(ctxObj, nil, "", nil, nil)
+		ctx := m.newContext(t.Context(), ctxObj, nil, "", nil, nil)
 		ctx.unreachable = unreachable
 		if err := m.validateOne(t, reg, ctx, "commit"); err != nil {
 			return err
@@ -261,7 +262,7 @@ func (m *Manager) Commit(t *tx.Tx) error {
 	}
 	members := m.gms.ViewOf(m.self).Members
 	for _, th := range accepted {
-		for _, res := range m.comm.Multicast(m.self, members, msgThreatAdd, th) {
+		for _, res := range m.comm.Multicast(t.Context(), m.self, members, msgThreatAdd, th) {
 			_ = res // peers out of reach replicate during reconciliation
 		}
 	}
@@ -348,7 +349,7 @@ func (m *Manager) clearSatisfiedThreats(t *tx.Tx, meta constraint.Meta, ctx *val
 	if len(removed) == 0 {
 		return
 	}
-	m.removeIdentityEverywhere(ident)
+	m.removeIdentityEverywhere(t.Context(), ident)
 	t.RecordUndo(func() {
 		for _, old := range removed {
 			old.Seq = 0
@@ -461,7 +462,7 @@ func (m *Manager) ValidateNew(t *tx.Tx, e *object.Entity) error {
 		if reg.Meta.Type != constraint.HardInvariant || reg.Meta.SkipOnCreate {
 			continue
 		}
-		ctx := m.newContext(e, e, "<init>", nil, nil)
+		ctx := m.newContext(t.Context(), e, e, "<init>", nil, nil)
 		if err := m.validateOne(t, reg, ctx, "<init>"); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dedisys/internal/constraint"
@@ -63,9 +64,12 @@ func (m *Manager) NoteReplicaConflicts(ids []object.ID) {
 // consistency threats" when partitions re-unify (§5.2); the reconciliation
 // orchestrator calls this as part of the replica phase, which is why that
 // phase scales with the number of stored threat records (Figure 5.6).
-func (m *Manager) PropagateThreats(peers []transport.NodeID) (int, error) {
+func (m *Manager) PropagateThreats(ctx context.Context, peers []transport.NodeID) (int, error) {
 	if m.comm == nil {
 		return 0, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	sent := 0
 	for _, th := range m.threats.All() {
@@ -73,7 +77,7 @@ func (m *Manager) PropagateThreats(peers []transport.NodeID) (int, error) {
 			if peer == m.self {
 				continue
 			}
-			if _, err := m.comm.Send(m.self, peer, msgThreatAdd, th); err != nil {
+			if _, err := m.comm.Send(ctx, m.self, peer, msgThreatAdd, th); err != nil {
 				// Peer unreachable again: it will catch up next time.
 				continue
 			}
@@ -86,16 +90,19 @@ func (m *Manager) PropagateThreats(peers []transport.NodeID) (int, error) {
 // PullThreats imports the threats stored on the given peers — threats
 // recorded in other partitions during the degraded period that this node
 // has not seen yet (missed updates include threat data, §5.2).
-func (m *Manager) PullThreats(peers []transport.NodeID) (int, error) {
+func (m *Manager) PullThreats(ctx context.Context, peers []transport.NodeID) (int, error) {
 	if m.comm == nil {
 		return 0, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	imported := 0
 	for _, peer := range peers {
 		if peer == m.self {
 			continue
 		}
-		resp, err := m.comm.Send(m.self, peer, msgThreatPull, nil)
+		resp, err := m.comm.Send(ctx, m.self, peer, msgThreatPull, nil)
 		if err != nil {
 			continue // unreachable again; next reconciliation catches up
 		}
@@ -136,7 +143,10 @@ const maxResolveRetries = 3
 // ReconcileThreats re-evaluates all accepted consistency threats (§3.3,
 // §4.4). It must run after replica reconciliation has re-established replica
 // consistency. Identical threats are re-evaluated once per identity.
-func (m *Manager) ReconcileThreats() (ThreatReport, error) {
+func (m *Manager) ReconcileThreats(callCtx context.Context) (ThreatReport, error) {
+	if callCtx == nil {
+		callCtx = context.Background()
+	}
 	m.reconciling.Store(true)
 	if m.obs.Tracing() {
 		m.obs.Emit(obs.EventModeTransition, "-> reconciling")
@@ -159,18 +169,18 @@ func (m *Manager) ReconcileThreats() (ThreatReport, error) {
 		reg, err := m.repo.Get(th.Constraint)
 		if err != nil {
 			// The constraint was unregistered: its threats are moot.
-			m.removeIdentityEverywhere(ident)
+			m.removeIdentityEverywhere(callCtx, ident)
 			report.Removed++
 			continue
 		}
 
-		degree, ctx, err := m.revalidate(th, reg.Meta, reg.Impl.Validate)
+		degree, ctx, err := m.revalidate(callCtx, th, reg.Meta, reg.Impl.Validate)
 		if err != nil {
 			return report, err
 		}
 		switch {
 		case degree == constraint.Satisfied:
-			m.removeIdentityEverywhere(ident)
+			m.removeIdentityEverywhere(callCtx, ident)
 			report.Removed++
 			m.maybeNotifyConflict(ths, ctx, &report)
 		case degree.IsThreat():
@@ -179,7 +189,7 @@ func (m *Manager) ReconcileThreats() (ThreatReport, error) {
 			report.Postponed++
 		default: // Violated
 			report.Violations++
-			m.resolveViolation(ident, th, reg.Meta, reg.Impl.Validate, &report)
+			m.resolveViolation(callCtx, ident, th, reg.Meta, reg.Impl.Validate, &report)
 		}
 	}
 	return report, nil
@@ -189,21 +199,21 @@ type validateFunc func(ctx constraint.Context) (bool, error)
 
 // revalidate runs one constraint validation for reconciliation, returning
 // the observed degree and the context (for affected-object inspection).
-func (m *Manager) revalidate(th threat.Threat, meta constraint.Meta, validate validateFunc) (constraint.Degree, *valContext, error) {
+func (m *Manager) revalidate(callCtx context.Context, th threat.Threat, meta constraint.Meta, validate validateFunc) (constraint.Degree, *valContext, error) {
 	var ctxObj *object.Entity
 	unreachable := false
 	if meta.NeedsContext {
 		if th.ContextID == "" {
 			return constraint.Violated, nil, fmt.Errorf("core: threat on %s lacks context object", th.Constraint)
 		}
-		e, _, err := m.lookup(th.ContextID)
+		e, _, err := m.lookup(callCtx, th.ContextID)
 		if err != nil {
 			unreachable = true
 		} else {
 			ctxObj = e
 		}
 	}
-	ctx := m.newContext(ctxObj, nil, "", nil, nil)
+	ctx := m.newContext(callCtx, ctxObj, nil, "", nil, nil)
 	ctx.unreachable = unreachable
 	ok, verr := validate(ctx)
 	return m.computeDegree(meta, ctx, ok, verr), ctx, nil
@@ -238,9 +248,9 @@ func (m *Manager) maybeNotifyConflict(ths []threat.Threat, ctx *valContext, repo
 // resolveViolation handles an actual constraint violation found during
 // reconciliation: history rollback if permitted, otherwise the
 // application's reconciliation handler with immediate or deferred semantics.
-func (m *Manager) resolveViolation(ident string, th threat.Threat, meta constraint.Meta, validate validateFunc, report *ThreatReport) {
-	if th.Instructions.AllowRollback && m.tryRollback(th, meta, validate) {
-		m.removeIdentityEverywhere(ident)
+func (m *Manager) resolveViolation(callCtx context.Context, ident string, th threat.Threat, meta constraint.Meta, validate validateFunc, report *ThreatReport) {
+	if th.Instructions.AllowRollback && m.tryRollback(callCtx, th, meta, validate) {
+		m.removeIdentityEverywhere(callCtx, ident)
 		report.RolledBack++
 		return
 	}
@@ -252,7 +262,7 @@ func (m *Manager) resolveViolation(ident string, th threat.Threat, meta constrai
 		// §3.3 alternative: relax consistency by deactivating the violated
 		// constraint; its threats become moot.
 		if err := m.repo.SetEnabled(meta.Name, false); err == nil {
-			m.removeIdentityEverywhere(ident)
+			m.removeIdentityEverywhere(callCtx, ident)
 			report.Disabled++
 			return
 		}
@@ -270,13 +280,13 @@ func (m *Manager) resolveViolation(ident string, th threat.Threat, meta constrai
 			report.Deferred++
 			return
 		}
-		degree, _, err := m.revalidate(th, meta, validate)
+		degree, _, err := m.revalidate(callCtx, th, meta, validate)
 		if err != nil {
 			report.Deferred++
 			return
 		}
 		if degree == constraint.Satisfied {
-			m.removeIdentityEverywhere(ident)
+			m.removeIdentityEverywhere(callCtx, ident)
 			report.Resolved++
 			return
 		}
@@ -288,7 +298,7 @@ func (m *Manager) resolveViolation(ident string, th threat.Threat, meta constrai
 // (newest first) for a state satisfying the constraint and installs it
 // system-wide. This is the generic rollback of §3.3 with its availability
 // cost: later updates do not become effective.
-func (m *Manager) tryRollback(th threat.Threat, meta constraint.Meta, validate validateFunc) bool {
+func (m *Manager) tryRollback(callCtx context.Context, th threat.Threat, meta constraint.Meta, validate validateFunc) bool {
 	if m.repl == nil || !meta.NeedsContext || th.ContextID == "" {
 		return false
 	}
@@ -296,7 +306,7 @@ func (m *Manager) tryRollback(th threat.Threat, meta constraint.Meta, validate v
 	if len(history) == 0 {
 		return false
 	}
-	e, _, err := m.lookup(th.ContextID)
+	e, _, err := m.lookup(callCtx, th.ContextID)
 	if err != nil {
 		return false
 	}
@@ -304,11 +314,11 @@ func (m *Manager) tryRollback(th threat.Threat, meta constraint.Meta, validate v
 	for i := len(history) - 1; i >= 0; i-- {
 		entry := history[i]
 		e.Restore(entry.State, entry.Version)
-		ctx := m.newContext(e, nil, "", nil, nil)
+		ctx := m.newContext(callCtx, e, nil, "", nil, nil)
 		ok, verr := validate(ctx)
 		if verr == nil && ok && !ctx.unreachable {
 			// Found a consistent historical state; propagate it.
-			if err := m.repl.PropagateState(th.ContextID); err != nil {
+			if err := m.repl.PropagateState(callCtx, th.ContextID); err != nil {
 				e.Restore(current, currentVersion)
 				return false
 			}

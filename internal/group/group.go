@@ -4,11 +4,22 @@
 // detection, weighted membership for partition-sensitive constraints
 // (§5.5.2), and a synchronous multicast primitive used by the replication
 // service for update propagation.
+//
+// Multicast fans out to all destinations concurrently through a bounded
+// worker pool, so propagating an update to N reachable replicas costs ~1
+// network hop of simulated time instead of N sequential hops, while the
+// per-destination results keep the deterministic destination order. The
+// caller's context bounds the whole fan-out: cancellation aborts
+// destinations that have not been attempted yet.
 package group
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dedisys/internal/obs"
 	"dedisys/internal/transport"
@@ -96,7 +107,7 @@ func NewMembership(net *transport.Network, opts ...Option) *Membership {
 	}
 	m.viewChanges = m.obs.Counter("group.view_changes")
 	net.Watch(m.refresh)
-	m.refresh()
+	m.refresh(net.Epoch())
 	return m
 }
 
@@ -155,8 +166,7 @@ func (m *Membership) OnViewChange(id transport.NodeID, l Listener) {
 	m.listeners[id] = append(m.listeners[id], l)
 }
 
-func (m *Membership) refresh() {
-	epoch := m.net.Epoch()
+func (m *Membership) refresh(epoch int64) {
 	type change struct {
 		listeners []Listener
 		old, new  View
@@ -188,13 +198,47 @@ func (m *Membership) refresh() {
 
 // Comm is the group communication component: synchronous multicast with
 // per-destination results, as needed for synchronous update propagation.
+// Fan-out is concurrent through a bounded worker pool; results preserve the
+// destination order regardless of completion order.
 type Comm struct {
-	net *transport.Network
+	net     *transport.Network
+	workers int
+	obs     *obs.Observer
+
+	concurrent *obs.Counter
+	duration   *obs.Histogram
+}
+
+// CommOption configures a Comm.
+type CommOption func(*Comm)
+
+// WithWorkers bounds the multicast fan-out width (default GOMAXPROCS).
+func WithWorkers(n int) CommOption {
+	return func(c *Comm) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}
+
+// WithCommObserver attaches the component to a shared observability scope;
+// without it the component inherits the network's scope.
+func WithCommObserver(o *obs.Observer) CommOption {
+	return func(c *Comm) { c.obs = o }
 }
 
 // NewComm creates a group communication component over the network.
-func NewComm(net *transport.Network) *Comm {
-	return &Comm{net: net}
+func NewComm(net *transport.Network, opts ...CommOption) *Comm {
+	c := &Comm{net: net, workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.obs == nil {
+		c.obs = net.Observer()
+	}
+	c.concurrent = c.obs.Counter("group.multicast.concurrent")
+	c.duration = c.obs.Histogram("group.multicast.duration")
+	return c
 }
 
 // Result is the outcome of one multicast destination.
@@ -205,21 +249,72 @@ type Result struct {
 }
 
 // Multicast sends the message to each destination (excluding the sender if
-// present) and collects responses. Unreachable destinations report errors in
-// their result; the multicast itself always returns all results.
-func (c *Comm) Multicast(from transport.NodeID, to []transport.NodeID, kind string, payload any) []Result {
-	results := make([]Result, 0, len(to))
-	for _, dst := range to {
-		if dst == from {
-			continue
-		}
-		resp, err := c.net.Send(from, dst, kind, payload)
-		results = append(results, Result{Node: dst, Response: resp, Err: err})
+// present) concurrently and collects responses. Unreachable destinations
+// report errors in their result; the multicast itself always returns all
+// results, in destination order. A cancelled context aborts the fan-out
+// early: destinations not yet attempted report the context error without a
+// send; destinations in flight fail inside the transport.
+func (c *Comm) Multicast(ctx context.Context, from transport.NodeID, to []transport.NodeID, kind string, payload any) []Result {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	dests := make([]transport.NodeID, 0, len(to))
+	for _, dst := range to {
+		if dst != from {
+			dests = append(dests, dst)
+		}
+	}
+	results := make([]Result, len(dests))
+	if len(dests) == 0 {
+		return results
+	}
+	start := time.Now()
+	if len(dests) == 1 {
+		resp, err := c.net.Send(ctx, from, dests[0], kind, payload)
+		results[0] = Result{Node: dests[0], Response: resp, Err: err}
+		c.duration.Observe(time.Since(start))
+		return results
+	}
+	width := c.workers
+	if width > len(dests) {
+		width = len(dests)
+	}
+	if width < 1 {
+		width = 1
+	}
+	if width > 1 {
+		c.concurrent.Inc()
+	}
+	// Workers claim destination indices from a shared cursor; each writes its
+	// own slot of results, so the output order matches the input order no
+	// matter which destination answers first.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(dests) {
+					return
+				}
+				dst := dests[i]
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Node: dst, Err: fmt.Errorf("group: multicast to %s aborted: %w", dst, err)}
+					continue
+				}
+				resp, err := c.net.Send(ctx, from, dst, kind, payload)
+				results[i] = Result{Node: dst, Response: resp, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	c.duration.Observe(time.Since(start))
 	return results
 }
 
 // Send forwards a point-to-point message (convenience over the network).
-func (c *Comm) Send(from, to transport.NodeID, kind string, payload any) (any, error) {
-	return c.net.Send(from, to, kind, payload)
+func (c *Comm) Send(ctx context.Context, from, to transport.NodeID, kind string, payload any) (any, error) {
+	return c.net.Send(ctx, from, to, kind, payload)
 }

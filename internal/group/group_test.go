@@ -1,8 +1,14 @@
 package group
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dedisys/internal/transport"
 )
@@ -124,7 +130,7 @@ func TestMulticastCollectsResults(t *testing.T) {
 		}
 	}
 	comm := NewComm(net)
-	results := comm.Multicast("n1", []transport.NodeID{"n1", "n2", "n3"}, "update", "state")
+	results := comm.Multicast(context.Background(), "n1", []transport.NodeID{"n1", "n2", "n3"}, "update", "state")
 	if len(results) != 2 {
 		t.Fatalf("results = %d (sender must be excluded)", len(results))
 	}
@@ -145,7 +151,7 @@ func TestMulticastPartialFailure(t *testing.T) {
 	}
 	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
 	comm := NewComm(net)
-	results := comm.Multicast("n1", []transport.NodeID{"n2", "n3"}, "update", nil)
+	results := comm.Multicast(context.Background(), "n1", []transport.NodeID{"n2", "n3"}, "update", nil)
 	var okCount, errCount int
 	for _, r := range results {
 		if r.Err != nil {
@@ -157,8 +163,196 @@ func TestMulticastPartialFailure(t *testing.T) {
 	if okCount != 1 || errCount != 1 {
 		t.Fatalf("ok=%d err=%d", okCount, errCount)
 	}
-	if _, err := comm.Send("n1", "n2", "update", nil); err != nil {
+	if _, err := comm.Send(context.Background(), "n1", "n2", "update", nil); err != nil {
 		t.Fatalf("Send: %v", err)
+	}
+}
+
+// TestMulticastDeterministicOrder sends to destinations whose handlers
+// complete in reverse order and asserts that the results still come back in
+// destination order.
+func TestMulticastDeterministicOrder(t *testing.T) {
+	net := transport.NewNetwork()
+	var dests []transport.NodeID
+	if err := net.Join("src"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		id := transport.NodeID(fmt.Sprintf("d%d", i))
+		dests = append(dests, id)
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+		delay := time.Duration(n-i) * 5 * time.Millisecond // earlier slots answer last
+		if err := net.Handle(id, "k", func(transport.NodeID, any) (any, error) {
+			time.Sleep(delay)
+			return id, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net, WithWorkers(n))
+	results := comm.Multicast(context.Background(), "src", dests, "k", nil)
+	if len(results) != n {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d err: %v", i, r.Err)
+		}
+		if r.Node != dests[i] || r.Response != dests[i] {
+			t.Fatalf("result %d = %+v, want node %s", i, r, dests[i])
+		}
+	}
+}
+
+// TestMulticastParallelLatency checks the tentpole property: fanning out to
+// N destinations with a per-hop cost completes in ~1 hop of charged simtime,
+// not N sequential hops.
+func TestMulticastParallelLatency(t *testing.T) {
+	const hop = 20 * time.Millisecond
+	const n = 4
+	net := transport.NewNetwork(transport.WithCost(transport.CostModel{PerMessage: hop}))
+	if err := net.Join("src"); err != nil {
+		t.Fatal(err)
+	}
+	var dests []transport.NodeID
+	for i := 0; i < n; i++ {
+		id := transport.NodeID(fmt.Sprintf("d%d", i))
+		dests = append(dests, id)
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Handle(id, "k", func(transport.NodeID, any) (any, error) { return "ack", nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net, WithWorkers(n))
+	start := time.Now()
+	results := comm.Multicast(context.Background(), "src", dests, "k", nil)
+	elapsed := time.Since(start)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result err: %v", r.Err)
+		}
+	}
+	if elapsed >= time.Duration(n)*hop {
+		t.Fatalf("fan-out took %v, sequential would be %v — not parallel", elapsed, time.Duration(n)*hop)
+	}
+	if elapsed > 3*hop {
+		t.Fatalf("fan-out took %v, want ~1 hop (%v)", elapsed, hop)
+	}
+}
+
+// TestMulticastCancelAbortsFanOut cancels the context mid-fan-out (one
+// worker, so destinations are attempted sequentially) and asserts that later
+// destinations are never attempted.
+func TestMulticastCancelAbortsFanOut(t *testing.T) {
+	net := transport.NewNetwork()
+	if err := net.Join("src"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var handled atomic.Int64
+	var dests []transport.NodeID
+	for i := 0; i < 5; i++ {
+		id := transport.NodeID(fmt.Sprintf("d%d", i))
+		dests = append(dests, id)
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Handle(id, "k", func(transport.NodeID, any) (any, error) {
+			if handled.Add(1) == 1 {
+				cancel() // first delivery cancels the rest of the fan-out
+			}
+			return "ack", nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net, WithWorkers(1))
+	results := comm.Multicast(ctx, "src", dests, "k", nil)
+	if handled.Load() != 1 {
+		t.Fatalf("handlers ran %d times, want 1", handled.Load())
+	}
+	if results[0].Err != nil {
+		t.Fatalf("first result err: %v", results[0].Err)
+	}
+	for i, r := range results[1:] {
+		if r.Err == nil {
+			t.Fatalf("result %d succeeded after cancel", i+1)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d err = %v, want context.Canceled in chain", i+1, r.Err)
+		}
+	}
+}
+
+// TestMulticastConcurrencySafe hammers one multicast group from several
+// goroutines under -race.
+func TestMulticastConcurrencySafe(t *testing.T) {
+	net, _ := threeNodes(t)
+	for _, id := range []transport.NodeID{"n2", "n3"} {
+		if err := net.Handle(id, "k", func(transport.NodeID, any) (any, error) { return "ack", nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				results := comm.Multicast(context.Background(), "n1", []transport.NodeID{"n2", "n3"}, "k", nil)
+				if len(results) != 2 {
+					t.Error("short result set")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkMulticastFanOut measures the wall-clock (= charged simtime) of a
+// multicast to N replicas under a calibrated per-hop cost. With the
+// concurrent fan-out each op costs ~1 hop; the sequential baseline cost
+// (workers=1) is ~N hops.
+func BenchmarkMulticastFanOut(b *testing.B) {
+	const hop = 2 * time.Millisecond
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 8}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			net := transport.NewNetwork(transport.WithCost(transport.CostModel{PerMessage: hop}))
+			if err := net.Join("src"); err != nil {
+				b.Fatal(err)
+			}
+			var dests []transport.NodeID
+			for i := 0; i < 8; i++ {
+				id := transport.NodeID(fmt.Sprintf("d%d", i))
+				dests = append(dests, id)
+				if err := net.Join(id); err != nil {
+					b.Fatal(err)
+				}
+				if err := net.Handle(id, "k", func(transport.NodeID, any) (any, error) { return "ack", nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			comm := NewComm(net, WithWorkers(cfg.workers))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range comm.Multicast(context.Background(), "src", dests, "k", nil) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -7,6 +7,7 @@
 package invocation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -35,6 +36,9 @@ type Invocation struct {
 	Args []any
 	// Tx is the surrounding transaction.
 	Tx *tx.Tx
+	// Ctx carries the caller's deadline and cancellation through the chain;
+	// when unset, Context falls back to the transaction's context.
+	Ctx context.Context
 	// Result holds the method result after the terminal dispatcher ran; it
 	// is visible to interceptors on the way back (for postconditions).
 	Result any
@@ -42,6 +46,18 @@ type Invocation struct {
 	Remote bool
 
 	payload map[string]any
+}
+
+// Context returns the invocation's context: the explicit Ctx if set, else
+// the surrounding transaction's context, else Background. Never nil.
+func (inv *Invocation) Context() context.Context {
+	if inv.Ctx != nil {
+		return inv.Ctx
+	}
+	if inv.Tx != nil {
+		return inv.Tx.Context()
+	}
+	return context.Background()
 }
 
 // Put attaches interceptor payload to the invocation.

@@ -7,6 +7,7 @@
 package naming
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -141,9 +142,10 @@ func (s *Service) Names() []string {
 }
 
 // SyncWith pulls a peer's bindings and merges them (used after partitions
-// re-unify; newer epochs win, tombstones included).
-func (s *Service) SyncWith(peer transport.NodeID) error {
-	resp, err := s.comm.Send(s.self, peer, msgPull, nil)
+// re-unify; newer epochs win, tombstones included). The context bounds the
+// pull.
+func (s *Service) SyncWith(ctx context.Context, peer transport.NodeID) error {
+	resp, err := s.comm.Send(ctx, s.self, peer, msgPull, nil)
 	if err != nil {
 		return fmt.Errorf("naming: sync with %s: %w", peer, err)
 	}
@@ -171,8 +173,10 @@ type bindMsg struct {
 }
 
 func (s *Service) broadcast(kind string, msg bindMsg) {
+	// Bind/Rebind/Unbind stay context-free convenience APIs; their fan-out
+	// runs under a background context like the prototype's JNDI writes.
 	members := s.gms.ViewOf(s.self).Members
-	for _, res := range s.comm.Multicast(s.self, members, kind, msg) {
+	for _, res := range s.comm.Multicast(context.Background(), s.self, members, kind, msg) {
 		_ = res // unreachable nodes synchronise on heal
 	}
 }

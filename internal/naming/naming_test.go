@@ -1,6 +1,7 @@
 package naming
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -102,10 +103,10 @@ func TestPartitionAndSync(t *testing.T) {
 	}
 
 	net.Heal()
-	if err := s1.SyncWith("n2"); err != nil {
+	if err := s1.SyncWith(context.Background(), "n2"); err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.SyncWith("n1"); err != nil {
+	if err := s2.SyncWith(context.Background(), "n1"); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range []*Service{s1, s2} {
@@ -129,7 +130,7 @@ func TestUnbindTombstoneWinsAfterSync(t *testing.T) {
 		t.Fatal(err)
 	}
 	net.Heal()
-	if err := s2.SyncWith("n1"); err != nil {
+	if err := s2.SyncWith(context.Background(), "n1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s2.Lookup("x"); !errors.Is(err, ErrNotBound) {
@@ -140,7 +141,7 @@ func TestUnbindTombstoneWinsAfterSync(t *testing.T) {
 func TestSyncUnreachablePeer(t *testing.T) {
 	net, s1, _ := twoServices(t)
 	net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
-	if err := s1.SyncWith("n2"); err == nil {
+	if err := s1.SyncWith(context.Background(), "n2"); err == nil {
 		t.Fatal("sync across partition should fail")
 	}
 }

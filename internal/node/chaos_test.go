@@ -6,6 +6,7 @@ package node_test
 // survives once its constraint holds again.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -109,12 +110,12 @@ func TestChaosConvergence(t *testing.T) {
 				c.Heal()
 				driver := c.Node(0)
 				peers := c.IDs()[1:]
-				if _, err := reconcile.Run(driver, peers, reconcile.Handlers{}); err != nil {
+				if _, err := reconcile.Run(context.Background(), driver, peers, reconcile.Handlers{}); err != nil {
 					t.Fatalf("round %d: reconcile: %v", round, err)
 				}
 				// A second pass from another node mops up anything the first
 				// driver could not see (e.g. threats stored only elsewhere).
-				if _, err := reconcile.Run(c.Node(1), []transport.NodeID{c.IDs()[0], c.IDs()[2]}, reconcile.Handlers{}); err != nil {
+				if _, err := reconcile.Run(context.Background(), c.Node(1), []transport.NodeID{c.IDs()[0], c.IDs()[2]}, reconcile.Handlers{}); err != nil {
 					t.Fatalf("round %d: reconcile 2: %v", round, err)
 				}
 
@@ -186,7 +187,7 @@ func TestCrashDuringDegradedModeThenRecovery(t *testing.T) {
 	// Recover and heal; n3 must catch up on both missed updates.
 	c.Net.Recover("n3")
 	c.Heal()
-	if _, err := reconcile.Run(n1, []transport.NodeID{"n2", "n3"}, reconcile.Handlers{}); err != nil {
+	if _, err := reconcile.Run(context.Background(), n1, []transport.NodeID{"n2", "n3"}, reconcile.Handlers{}); err != nil {
 		t.Fatal(err)
 	}
 	e3, err := c.Node(2).Registry.Get("o1")
@@ -234,7 +235,7 @@ func TestRepeatedThreatPropagationDoesNotDuplicate(t *testing.T) {
 	}
 	c.Heal()
 	for pass := 0; pass < 3; pass++ {
-		if _, err := reconcile.Run(n1, []transport.NodeID{"n2"}, reconcile.Handlers{}); err != nil {
+		if _, err := reconcile.Run(context.Background(), n1, []transport.NodeID{"n2"}, reconcile.Handlers{}); err != nil {
 			t.Fatal(err)
 		}
 	}

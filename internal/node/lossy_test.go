@@ -5,6 +5,7 @@ package node_test
 // version vectors detect the missed update and reconciliation repairs it.
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestLostPropagationRepairedByReconciliation(t *testing.T) {
 	}
 
 	// The version vectors expose the miss; reconciliation pushes the state.
-	report, err := reconcile.Run(n1, []transport.NodeID{"n3"}, reconcile.Handlers{})
+	report, err := reconcile.Run(context.Background(), n1, []transport.NodeID{"n3"}, reconcile.Handlers{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestLossyWritesNeverDivergeSilently(t *testing.T) {
 		}
 	}
 	c.Net.SetDrop(nil)
-	if _, err := reconcile.Run(n1, []transport.NodeID{"n2", "n3"}, reconcile.Handlers{}); err != nil {
+	if _, err := reconcile.Run(context.Background(), n1, []transport.NodeID{"n2", "n3"}, reconcile.Handlers{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range c.Nodes {

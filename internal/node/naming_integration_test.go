@@ -1,6 +1,7 @@
 package node_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestNamingIntegration(t *testing.T) {
 		t.Fatal("binding crossed the partition")
 	}
 	c.Heal()
-	if _, err := reconcile.Run(n1, []transport.NodeID{"n2"}, reconcile.Handlers{}); err != nil {
+	if _, err := reconcile.Run(context.Background(), n1, []transport.NodeID{"n2"}, reconcile.Handlers{}); err != nil {
 		t.Fatal(err)
 	}
 	if id, err := n1.Naming.Lookup("docs/other"); err != nil || id != "doc-42" {

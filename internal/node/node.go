@@ -6,6 +6,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -286,6 +287,10 @@ func (n *Node) dispatch(inv *invocation.Invocation) (any, error) {
 // Begin starts a transaction on this node.
 func (n *Node) Begin() *tx.Tx { return n.TxMgr.Begin() }
 
+// BeginCtx starts a transaction bound to the caller's context: lock waits
+// and commit-time propagation honour its deadline and cancellation.
+func (n *Node) BeginCtx(ctx context.Context) *tx.Tx { return n.TxMgr.BeginCtx(ctx) }
+
 // RegisterSchema installs a class schema (deployment step).
 func (n *Node) RegisterSchema(s *object.Schema) { n.Registry.RegisterSchema(s) }
 
@@ -306,15 +311,28 @@ func (n *Node) handleRemoteInvoke(from transport.NodeID, payload any) (any, erro
 	if !ok {
 		return nil, fmt.Errorf("node %s: bad invoke payload %T", n.ID, payload)
 	}
+	// The caller's context does not cross the simulated wire: the remote
+	// node executes under its own background context, like a real RPC server
+	// that received no deadline metadata.
 	return n.Invoke(p.Target, p.Method, p.Args...)
 }
 
 // Invoke performs one business operation in its own transaction
-// (container-managed, EJB "Required" semantics). Write operations are routed
-// to the object's coordinator under the active replication protocol; reads
-// execute on the local replica (always local under P4).
+// (container-managed, EJB "Required" semantics) under a background context.
 func (n *Node) Invoke(target object.ID, method string, args ...any) (any, error) {
-	kind, _, err := n.methodKind(target, method)
+	return n.InvokeCtx(context.Background(), target, method, args...)
+}
+
+// InvokeCtx performs one business operation in its own transaction. The
+// context bounds the whole operation: coordinator forwarding, lock waits and
+// commit-time replica propagation. Write operations are routed to the
+// object's coordinator under the active replication protocol; reads execute
+// on the local replica (always local under P4).
+func (n *Node) InvokeCtx(ctx context.Context, target object.ID, method string, args ...any) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	kind, _, err := n.methodKind(ctx, target, method)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +345,7 @@ func (n *Node) Invoke(target object.ID, method string, args ...any) (any, error)
 			return nil, err
 		}
 		if coord != n.ID {
-			return n.net.Send(n.ID, coord, msgInvoke, remoteInvokePayload{Target: target, Method: method, Args: args})
+			return n.net.Send(ctx, n.ID, coord, msgInvoke, remoteInvokePayload{Target: target, Method: method, Args: args})
 		}
 	}
 	if kind == object.Read && n.Repl != nil && !n.Repl.HasLocalReplica(target) {
@@ -338,13 +356,13 @@ func (n *Node) Invoke(target object.ID, method string, args ...any) (any, error)
 		view := n.gms.ViewOf(n.ID)
 		for _, r := range info.Replicas {
 			if r != n.ID && view.Contains(r) {
-				return n.net.Send(n.ID, r, msgInvoke, remoteInvokePayload{Target: target, Method: method, Args: args})
+				return n.net.Send(ctx, n.ID, r, msgInvoke, remoteInvokePayload{Target: target, Method: method, Args: args})
 			}
 		}
 		return nil, fmt.Errorf("%w: %s", replication.ErrNoReplica, target)
 	}
 
-	t := n.Begin()
+	t := n.BeginCtx(ctx)
 	res, err := n.InvokeTx(t, target, method, args...)
 	if err != nil {
 		if t.Status() == tx.Active {
@@ -361,17 +379,22 @@ func (n *Node) Invoke(target object.ID, method string, args ...any) (any, error)
 // InvokeNamed resolves a name through the naming service and invokes the
 // bound object (the JNDI-style lookup-then-call of EJB clients).
 func (n *Node) InvokeNamed(name, method string, args ...any) (any, error) {
+	return n.InvokeNamedCtx(context.Background(), name, method, args...)
+}
+
+// InvokeNamedCtx is InvokeNamed bounded by the caller's context.
+func (n *Node) InvokeNamedCtx(ctx context.Context, name, method string, args ...any) (any, error) {
 	id, err := n.Naming.Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return n.Invoke(id, method, args...)
+	return n.InvokeCtx(ctx, id, method, args...)
 }
 
 // InvokeTx performs a business operation within an existing transaction.
 // The calling node must be the object's coordinator for write operations.
 func (n *Node) InvokeTx(t *tx.Tx, target object.ID, method string, args ...any) (any, error) {
-	kind, class, err := n.methodKind(target, method)
+	kind, class, err := n.methodKind(t.Context(), target, method)
 	if err != nil {
 		return nil, err
 	}
@@ -402,14 +425,14 @@ func (n *Node) InvokeTx(t *tx.Tx, target object.ID, method string, args ...any) 
 	return n.chain.Dispatch(inv)
 }
 
-func (n *Node) methodKind(target object.ID, method string) (object.MethodKind, string, error) {
+func (n *Node) methodKind(ctx context.Context, target object.ID, method string) (object.MethodKind, string, error) {
 	e, err := n.Registry.Get(target)
 	var class string
 	if err == nil {
 		class = e.Class()
 	} else if n.Repl != nil {
 		// No local replica: fetch the class through the replication service.
-		remote, _, lerr := n.Repl.Lookup(target)
+		remote, _, lerr := n.Repl.Lookup(ctx, target)
 		if lerr != nil {
 			return 0, "", fmt.Errorf("node %s: resolve %s: %w", n.ID, target, lerr)
 		}
@@ -432,7 +455,12 @@ func (n *Node) methodKind(target object.ID, method string) (object.MethodKind, s
 // validating the class's hard invariants (constructors are constrained by
 // invariants, §2.3.1). With replication disabled the entity is local.
 func (n *Node) Create(class string, id object.ID, attrs object.State, info replication.Info) error {
-	t := n.Begin()
+	return n.CreateCtx(context.Background(), class, id, attrs, info)
+}
+
+// CreateCtx is Create bounded by the caller's context.
+func (n *Node) CreateCtx(ctx context.Context, class string, id object.ID, attrs object.State, info replication.Info) error {
+	t := n.BeginCtx(ctx)
 	if err := n.CreateTx(t, class, id, attrs, info); err != nil {
 		_ = t.Rollback()
 		return err
@@ -467,7 +495,12 @@ func (n *Node) CreateTx(t *tx.Tx, class string, id object.ID, attrs object.State
 
 // Delete removes an entity in its own transaction.
 func (n *Node) Delete(id object.ID) error {
-	t := n.Begin()
+	return n.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx is Delete bounded by the caller's context.
+func (n *Node) DeleteCtx(ctx context.Context, id object.ID) error {
+	t := n.BeginCtx(ctx)
 	if err := n.DeleteTx(t, id); err != nil {
 		_ = t.Rollback()
 		return err

@@ -1,6 +1,7 @@
 package reconcile
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -28,7 +29,7 @@ func TestBusinessOperationsDuringReconciliation(t *testing.T) {
 	reconcileDone := make(chan error, 1)
 
 	go func() {
-		_, err := Run(n1, []transport.NodeID{"n2"}, Handlers{
+		_, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{
 			ReplicaResolver: mergeSold,
 			ConstraintHandler: func(th threat.Threat, meta constraint.Meta) bool {
 				close(handlerEntered)

@@ -12,6 +12,7 @@
 package reconcile
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,8 +51,13 @@ type Report struct {
 
 // Run performs reconciliation from the given node towards the peers that
 // re-joined its view. Typically one node per merged partition pair drives
-// the pass; pushed states and threat removals propagate to the others.
-func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
+// the pass; pushed states and threat removals propagate to the others. The
+// context bounds both phases: every pull, push and threat exchange inherits
+// its deadline and cancellation.
+func Run(ctx context.Context, n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var report Report
 	if n.Repl == nil {
 		return report, fmt.Errorf("reconcile: node %s has no replication service", n.ID)
@@ -63,7 +69,7 @@ func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
 		n.Obs.Emit(obs.EventReconcilePhase, fmt.Sprintf("replica phase start, peers %v", peers))
 	}
 	start := time.Now()
-	replicaReport, err := n.Repl.ReconcileWith(peers, h.ReplicaResolver)
+	replicaReport, err := n.Repl.ReconcileWith(ctx, peers, h.ReplicaResolver)
 	report.Replica = replicaReport
 	if err != nil {
 		report.ReplicaDuration = time.Since(start)
@@ -73,11 +79,11 @@ func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
 	// degraded period (§5.2); shipping them — in both directions — is part
 	// of this phase's cost.
 	if n.CCM != nil {
-		if _, err := n.CCM.PropagateThreats(peers); err != nil {
+		if _, err := n.CCM.PropagateThreats(ctx, peers); err != nil {
 			report.ReplicaDuration = time.Since(start)
 			return report, fmt.Errorf("reconcile: threat propagation: %w", err)
 		}
-		if _, err := n.CCM.PullThreats(peers); err != nil {
+		if _, err := n.CCM.PullThreats(ctx, peers); err != nil {
 			report.ReplicaDuration = time.Since(start)
 			return report, fmt.Errorf("reconcile: threat pull: %w", err)
 		}
@@ -86,7 +92,7 @@ func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
 	// of the missed-update propagation.
 	if n.Naming != nil {
 		for _, peer := range peers {
-			if err := n.Naming.SyncWith(peer); err != nil {
+			if err := n.Naming.SyncWith(ctx, peer); err != nil {
 				continue // peer unreachable again; next pass catches up
 			}
 		}
@@ -104,7 +110,7 @@ func Run(n *node.Node, peers []transport.NodeID, h Handlers) (Report, error) {
 		n.CCM.SetConflictNotifier(h.ConflictNotifier)
 		n.CCM.NoteReplicaConflicts(replicaReport.ConflictIDs)
 		start = time.Now()
-		threatReport, err := n.CCM.ReconcileThreats()
+		threatReport, err := n.CCM.ReconcileThreats(ctx)
 		report.Constraint = threatReport
 		report.ConstraintDuration = time.Since(start)
 		n.Obs.Histogram("reconcile.constraint.duration").Observe(report.ConstraintDuration)
@@ -134,7 +140,7 @@ func Auto(n *node.Node, h Handlers, onDone func(Report, error)) {
 		if len(joined) == 0 {
 			return
 		}
-		report, err := Run(n, joined, h)
+		report, err := Run(context.Background(), n, joined, h)
 		if onDone != nil {
 			onDone(report, err)
 		}

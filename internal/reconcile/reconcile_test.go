@@ -1,6 +1,7 @@
 package reconcile
 
 import (
+	"context"
 	"testing"
 
 	"dedisys/internal/constraint"
@@ -115,7 +116,7 @@ func TestFullReconciliationFlightBooking(t *testing.T) {
 		return true
 	}
 
-	report, err := Run(n1, []transport.NodeID{"n2"}, Handlers{
+	report, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{
 		ReplicaResolver:   mergeSold,
 		ConstraintHandler: handler,
 	})
@@ -151,7 +152,7 @@ func TestReconciliationDeferredWhenHandlerDeclines(t *testing.T) {
 	handler := func(th threat.Threat, meta constraint.Meta) bool {
 		return false // e-mail an operator; clean up later (§4.4)
 	}
-	report, err := Run(n1, []transport.NodeID{"n2"}, Handlers{
+	report, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{
 		ReplicaResolver:   mergeSold,
 		ConstraintHandler: handler,
 	})
@@ -205,7 +206,7 @@ func TestReconciliationSatisfiedThreatsJustRemoved(t *testing.T) {
 		t.Fatalf("threats = %d", n1.Threats.Len())
 	}
 	c.Heal()
-	report, err := Run(n1, []transport.NodeID{"n2"}, Handlers{})
+	report, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestReconciliationPostponesWhileStillPartitioned(t *testing.T) {
 	// degraded and the threat is postponed (§3.3: re-evaluation postponed
 	// until further partitions are re-unified).
 	c.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
-	report, err := Run(n1, []transport.NodeID{"n2"}, Handlers{})
+	report, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestConflictNotifierInvoked(t *testing.T) {
 		// Resolve to a consistent (non-overbooked) state: keep local.
 		return cf.Local, nil
 	}
-	report, err := Run(n1, []transport.NodeID{"n2"}, Handlers{
+	report, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{
 		ReplicaResolver:  resolver,
 		ConflictNotifier: func(th threat.Threat, ids []object.ID) { notified = ids },
 	})
@@ -291,7 +292,7 @@ func TestRollbackReconciliation(t *testing.T) {
 	)
 	c.Heal()
 	n1 := c.Node(0)
-	report, err := Run(n1, []transport.NodeID{"n2"}, Handlers{
+	report, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{
 		ReplicaResolver:  mergeSold, // 85 sold: violated
 		DropHistoryAfter: true,
 	})
@@ -350,7 +351,7 @@ func TestRunWithoutReplication(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Run(c.Node(0), nil, Handlers{}); err == nil {
+	if _, err := Run(context.Background(), c.Node(0), nil, Handlers{}); err == nil {
 		t.Fatal("Run without replication should fail")
 	}
 }
@@ -362,7 +363,7 @@ func TestDisableViolatedConstraintsAlternative(t *testing.T) {
 	c.Heal()
 	n1 := c.Node(0)
 	n1.CCM.SetDisableViolatedConstraints(true)
-	report, err := Run(n1, []transport.NodeID{"n2"}, Handlers{ReplicaResolver: mergeSold})
+	report, err := Run(context.Background(), n1, []transport.NodeID{"n2"}, Handlers{ReplicaResolver: mergeSold})
 	if err != nil {
 		t.Fatal(err)
 	}

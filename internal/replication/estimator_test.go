@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -64,7 +65,7 @@ func TestRateEstimatorAttachedToManager(t *testing.T) {
 	h.net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
 	// Four seconds into the partition: ~4 missed updates expected.
 	now = now.Add(4 * time.Second)
-	_, st, err := mgr.Lookup("f1")
+	_, st, err := mgr.Lookup(context.Background(), "f1")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -284,7 +285,7 @@ func (m *Manager) CheckWrite(id object.ID) error {
 // are always local under P4, §4.3). For objects without a local replica the
 // state is fetched from a reachable replica. The returned staleness reflects
 // the protocol's judgement in the current view.
-func (m *Manager) Lookup(id object.ID) (*object.Entity, constraint.Staleness, error) {
+func (m *Manager) Lookup(ctx context.Context, id object.ID) (*object.Entity, constraint.Staleness, error) {
 	m.mu.Lock()
 	rs, known := m.meta[id]
 	var info Info
@@ -311,7 +312,7 @@ func (m *Manager) Lookup(id object.ID) (*object.Entity, constraint.Staleness, er
 	}
 	// Remote read from the first reachable replica.
 	for _, r := range info.reachableReplicas(view) {
-		resp, err := m.comm.Send(m.self, r, msgFetch, id)
+		resp, err := m.comm.Send(ctx, m.self, r, msgFetch, id)
 		if err != nil {
 			continue
 		}
@@ -464,6 +465,7 @@ func (m *Manager) Commit(t *tx.Tx) error {
 	if !ok {
 		return nil
 	}
+	ctx := t.Context()
 	degraded := m.Degraded()
 	view := m.view()
 	m.propagations.Add(int64(len(ch.order)))
@@ -472,11 +474,11 @@ func (m *Manager) Commit(t *tx.Tx) error {
 		var err error
 		switch {
 		case containsID(ch.deleted, id):
-			err = m.propagateDelete(id, view)
+			err = m.propagateDelete(ctx, id, view)
 		case hasCreate(ch.created, id):
-			err = m.propagateCreate(id, ch.created[id], view, degraded)
+			err = m.propagateCreate(ctx, id, ch.created[id], view, degraded)
 		default:
-			err = m.propagateUpdate(id, view, degraded)
+			err = m.propagateUpdate(ctx, id, view, degraded)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -503,7 +505,7 @@ func (m *Manager) Rollback(t *tx.Tx) error {
 	return nil
 }
 
-func (m *Manager) propagateCreate(id object.ID, info Info, view group.View, degraded bool) error {
+func (m *Manager) propagateCreate(ctx context.Context, id object.ID, info Info, view group.View, degraded bool) error {
 	e, err := m.registry.Get(id)
 	if err != nil {
 		return fmt.Errorf("replication: propagate create %s: %w", id, err)
@@ -523,13 +525,13 @@ func (m *Manager) propagateCreate(id object.ID, info Info, view group.View, degr
 		return err
 	}
 	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
-	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(view), msgCreate, msg) {
+	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgCreate, msg) {
 		_ = res // unreachable replicas catch up during reconciliation
 	}
 	return nil
 }
 
-func (m *Manager) propagateUpdate(id object.ID, view group.View, degraded bool) error {
+func (m *Manager) propagateUpdate(ctx context.Context, id object.ID, view group.View, degraded bool) error {
 	e, err := m.registry.Get(id)
 	if err != nil {
 		return fmt.Errorf("replication: propagate update %s: %w", id, err)
@@ -549,13 +551,13 @@ func (m *Manager) propagateUpdate(id object.ID, view group.View, degraded bool) 
 	}
 	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
 	m.observe(id)
-	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(view), msgApply, msg) {
+	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgApply, msg) {
 		_ = res
 	}
 	return nil
 }
 
-func (m *Manager) propagateDelete(id object.ID, view group.View) error {
+func (m *Manager) propagateDelete(ctx context.Context, id object.ID, view group.View) error {
 	m.mu.Lock()
 	vv, ok := m.tombstones[id]
 	var infoReplicas []transport.NodeID
@@ -569,7 +571,7 @@ func (m *Manager) propagateDelete(id object.ID, view group.View) error {
 	}
 	m.store.Delete(tableReplicaMeta, string(id))
 	msg := deleteMsg{ID: id, VV: vv.Clone()}
-	for _, res := range m.comm.Multicast(m.self, infoReplicas, msgDelete, msg) {
+	for _, res := range m.comm.Multicast(ctx, m.self, infoReplicas, msgDelete, msg) {
 		_ = res
 	}
 	return nil
@@ -592,7 +594,7 @@ func (m *Manager) recordHistory(id object.ID, st object.State, version int64, vv
 // reachable replicas with a freshly dominating version vector. The
 // reconciliation phase uses this to install rolled-back or repaired states
 // system-wide (§3.3).
-func (m *Manager) PropagateState(id object.ID) error {
+func (m *Manager) PropagateState(ctx context.Context, id object.ID) error {
 	e, err := m.registry.Get(id)
 	if err != nil {
 		return fmt.Errorf("replication: propagate state %s: %w", id, err)
@@ -610,7 +612,7 @@ func (m *Manager) PropagateState(id object.ID) error {
 	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
 		return err
 	}
-	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(m.view()), msgApply, msg) {
+	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(m.view()), msgApply, msg) {
 		_ = res
 	}
 	return nil

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -55,8 +56,12 @@ type ReconcileReport struct {
 // ReconcileWith propagates missed updates between this node and the given
 // peers and resolves write-write conflicts through the resolver (nil uses
 // MostUpdatesResolver). It is driven by the reconciliation orchestrator
-// after a view change re-unites partitions (§4.4).
-func (m *Manager) ReconcileWith(peers []transport.NodeID, resolve ConflictResolver) (ReconcileReport, error) {
+// after a view change re-unites partitions (§4.4). The context bounds the
+// whole pass: every pull, push and conflict broadcast inherits it.
+func (m *Manager) ReconcileWith(ctx context.Context, peers []transport.NodeID, resolve ConflictResolver) (ReconcileReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if resolve == nil {
 		resolve = MostUpdatesResolver
 	}
@@ -65,7 +70,7 @@ func (m *Manager) ReconcileWith(peers []transport.NodeID, resolve ConflictResolv
 		if peer == m.self {
 			continue
 		}
-		resp, err := m.comm.Send(m.self, peer, msgPull, nil)
+		resp, err := m.comm.Send(ctx, m.self, peer, msgPull, nil)
 		if err != nil {
 			// Peer unreachable again: postpone (still degraded w.r.t. it).
 			continue
@@ -75,10 +80,10 @@ func (m *Manager) ReconcileWith(peers []transport.NodeID, resolve ConflictResolv
 		if !ok {
 			return report, fmt.Errorf("replication: bad pull response %T from %s", resp, peer)
 		}
-		if err := m.mergeRecords(peer, records, resolve, &report); err != nil {
+		if err := m.mergeRecords(ctx, peer, records, resolve, &report); err != nil {
 			return report, err
 		}
-		if err := m.pushMissing(peer, records, &report); err != nil {
+		if err := m.pushMissing(ctx, peer, records, &report); err != nil {
 			return report, err
 		}
 	}
@@ -86,13 +91,13 @@ func (m *Manager) ReconcileWith(peers []transport.NodeID, resolve ConflictResolv
 }
 
 // mergeRecords folds one peer's replica table into the local one.
-func (m *Manager) mergeRecords(peer transport.NodeID, records []Record, resolve ConflictResolver, report *ReconcileReport) error {
+func (m *Manager) mergeRecords(ctx context.Context, peer transport.NodeID, records []Record, resolve ConflictResolver, report *ReconcileReport) error {
 	for _, rec := range records {
 		m.mu.Lock()
 		if _, dead := m.tombstones[rec.ID]; dead {
 			m.mu.Unlock()
 			// We deleted the object; re-propagate the deletion.
-			if _, err := m.comm.Send(m.self, peer, msgDelete, deleteMsg{ID: rec.ID, VV: rec.VV}); err != nil {
+			if _, err := m.comm.Send(ctx, m.self, peer, msgDelete, deleteMsg{ID: rec.ID, VV: rec.VV}); err != nil {
 				return fmt.Errorf("replication: re-propagate delete of %s: %w", rec.ID, err)
 			}
 			continue
@@ -117,7 +122,7 @@ func (m *Manager) mergeRecords(peer transport.NodeID, records []Record, resolve 
 			report.Adopted++
 		case comparable && cmp < 0:
 			// We dominate: push our state to the peer.
-			if err := m.pushState(peer, rec.ID); err != nil {
+			if err := m.pushState(ctx, peer, rec.ID); err != nil {
 				return err
 			}
 			report.Pushed++
@@ -131,7 +136,7 @@ func (m *Manager) mergeRecords(peer transport.NodeID, records []Record, resolve 
 			if m.obs.Tracing() {
 				m.obs.Emit(obs.EventReplicaConflict, fmt.Sprintf("%s with %s", rec.ID, peer))
 			}
-			if err := m.resolveConflict(rec, resolve); err != nil {
+			if err := m.resolveConflict(ctx, rec, resolve); err != nil {
 				return err
 			}
 		}
@@ -161,7 +166,7 @@ func (m *Manager) adopt(rec Record) {
 }
 
 // pushState sends the local replica state of the object to one peer.
-func (m *Manager) pushState(peer transport.NodeID, id object.ID) error {
+func (m *Manager) pushState(ctx context.Context, peer transport.NodeID, id object.ID) error {
 	e, err := m.registry.Get(id)
 	if err != nil {
 		return fmt.Errorf("replication: push %s: %w", id, err)
@@ -174,7 +179,7 @@ func (m *Manager) pushState(peer transport.NodeID, id object.ID) error {
 	}
 	msg := applyMsg{ID: id, State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone()}
 	m.mu.Unlock()
-	if _, err := m.comm.Send(m.self, peer, msgApply, msg); err != nil {
+	if _, err := m.comm.Send(ctx, m.self, peer, msgApply, msg); err != nil {
 		return fmt.Errorf("replication: push %s to %s: %w", id, peer, err)
 	}
 	return nil
@@ -182,7 +187,7 @@ func (m *Manager) pushState(peer transport.NodeID, id object.ID) error {
 
 // resolveConflict lets the application (or the generic rule) choose a state,
 // then installs it everywhere with a vector dominating both divergent lines.
-func (m *Manager) resolveConflict(rec Record, resolve ConflictResolver) error {
+func (m *Manager) resolveConflict(ctx context.Context, rec Record, resolve ConflictResolver) error {
 	e, err := m.registry.Get(rec.ID)
 	if err != nil {
 		return fmt.Errorf("replication: conflict on %s: %w", rec.ID, err)
@@ -224,7 +229,7 @@ func (m *Manager) resolveConflict(rec Record, resolve ConflictResolver) error {
 	if err := m.store.Put(tableReplicaMeta, string(rec.ID), msg.VV); err != nil {
 		return err
 	}
-	for _, res := range m.comm.Multicast(m.self, info.reachableReplicas(m.view()), msgApply, msg) {
+	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(m.view()), msgApply, msg) {
 		_ = res
 	}
 	return nil
@@ -232,7 +237,7 @@ func (m *Manager) resolveConflict(rec Record, resolve ConflictResolver) error {
 
 // pushMissing creates, on the peer, objects it has never seen (created in
 // our partition during the split).
-func (m *Manager) pushMissing(peer transport.NodeID, peerRecords []Record, report *ReconcileReport) error {
+func (m *Manager) pushMissing(ctx context.Context, peer transport.NodeID, peerRecords []Record, report *ReconcileReport) error {
 	seen := make(map[object.ID]struct{}, len(peerRecords))
 	for _, rec := range peerRecords {
 		seen[rec.ID] = struct{}{}
@@ -259,7 +264,7 @@ func (m *Manager) pushMissing(peer transport.NodeID, peerRecords []Record, repor
 		}
 		msg := createMsg{ID: id, Class: e.Class(), State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone(), Info: rs.info}
 		m.mu.Unlock()
-		if _, err := m.comm.Send(m.self, peer, msgCreate, msg); err != nil {
+		if _, err := m.comm.Send(ctx, m.self, peer, msgCreate, msg); err != nil {
 			return fmt.Errorf("replication: push create %s to %s: %w", id, peer, err)
 		}
 		report.Pushed++

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -183,7 +184,7 @@ func TestDeletePropagates(t *testing.T) {
 func TestLookupStalenessHealthyAndDegraded(t *testing.T) {
 	h := newHarness(t, 3, PrimaryPerPartition{})
 	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(1)})
-	_, st, err := h.node("n2").mgr.Lookup("f1")
+	_, st, err := h.node("n2").mgr.Lookup(context.Background(), "f1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestLookupStalenessHealthyAndDegraded(t *testing.T) {
 		t.Fatal("healthy lookup reported stale")
 	}
 	h.net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
-	_, st, err = h.node("n2").mgr.Lookup("f1")
+	_, st, err = h.node("n2").mgr.Lookup(context.Background(), "f1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestEstimatorUsedWhenStale(t *testing.T) {
 	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(1)})
 	h.node("n1").mgr.SetEstimator(func(id object.ID, v int64) int64 { return v + 4 })
 	h.net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"})
-	_, st, err := h.node("n1").mgr.Lookup("f1")
+	_, st, err := h.node("n1").mgr.Lookup(context.Background(), "f1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,14 +279,14 @@ func TestAdaptiveVotingAllowsSubQuorumButStale(t *testing.T) {
 	if err := h.tryWrite("n1", "f1", "sold", int64(2)); err != nil {
 		t.Fatalf("majority write: %v", err)
 	}
-	if _, st, _ := h.node("n1").mgr.Lookup("f1"); st.PossiblyStale {
+	if _, st, _ := h.node("n1").mgr.Lookup(context.Background(), "f1"); st.PossiblyStale {
 		t.Fatal("majority read should be reliable under voting")
 	}
 	// Minority partition: writable (adaptive) but stale.
 	if err := h.tryWrite("n3", "f1", "sold", int64(3)); err != nil {
 		t.Fatalf("minority write: %v", err)
 	}
-	if _, st, _ := h.node("n3").mgr.Lookup("f1"); !st.PossiblyStale {
+	if _, st, _ := h.node("n3").mgr.Lookup(context.Background(), "f1"); !st.PossiblyStale {
 		t.Fatal("minority read should be possibly stale")
 	}
 }
@@ -308,10 +309,10 @@ func TestRemoteFetchWithoutLocalReplica(t *testing.T) {
 	// n3 must be able to read the object remotely — but it has no metadata.
 	// Register metadata by pulling: in the real system the naming service
 	// provides this; here reconciliation shares it.
-	if _, err := h.node("n3").mgr.ReconcileWith([]transport.NodeID{"n1"}, nil); err != nil {
+	if _, err := h.node("n3").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n1"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, st, err := h.node("n3").mgr.Lookup("f1")
+	got, st, err := h.node("n3").mgr.Lookup(context.Background(), "f1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestRemoteFetchWithoutLocalReplica(t *testing.T) {
 	}
 	// After partitioning n3 away from both replicas the read must fail.
 	h.net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
-	if _, _, err := h.node("n3").mgr.Lookup("f1"); !errors.Is(err, ErrNoReplica) {
+	if _, _, err := h.node("n3").mgr.Lookup(context.Background(), "f1"); !errors.Is(err, ErrNoReplica) {
 		t.Fatalf("unreachable read err = %v", err)
 	}
 }
@@ -335,7 +336,7 @@ func TestReconciliationPropagatesMissedUpdates(t *testing.T) {
 	// Only partition A writes: no conflict, n3 just missed updates.
 	h.write(t, "n1", "f1", "sold", int64(77))
 	h.net.Heal()
-	report, err := h.node("n1").mgr.ReconcileWith([]transport.NodeID{"n3"}, nil)
+	report, err := h.node("n1").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n3"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestReconciliationDetectsAndResolvesConflict(t *testing.T) {
 		merged["sold"] = int64(85)
 		return merged, nil
 	}
-	report, err := h.node("n1").mgr.ReconcileWith([]transport.NodeID{"n2"}, resolver)
+	report, err := h.node("n1").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n2"}, resolver)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestReconciliationGenericResolverMostUpdates(t *testing.T) {
 	h.write(t, "n2", "f1", "sold", int64(10))
 	h.write(t, "n2", "f1", "sold", int64(11)) // B has more updates
 	h.net.Heal()
-	if _, err := h.node("n1").mgr.ReconcileWith([]transport.NodeID{"n2"}, nil); err != nil {
+	if _, err := h.node("n1").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n2"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	e1, _ := h.node("n1").reg.Get("f1")
@@ -420,7 +421,7 @@ func TestReconciliationAdoptsObjectsCreatedElsewhere(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.net.Heal()
-	report, err := h.node("n1").mgr.ReconcileWith([]transport.NodeID{"n2"}, nil)
+	report, err := h.node("n1").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n2"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestReconciliationRePropagatesDeletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.net.Heal()
-	if _, err := h.node("n1").mgr.ReconcileWith([]transport.NodeID{"n2"}, nil); err != nil {
+	if _, err := h.node("n1").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n2"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if h.node("n2").reg.Has("f1") {
@@ -524,7 +525,7 @@ func TestWriteOnOldCoordinatorAfterCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.net.Recover("n1")
-	if _, err := h.node("n2").mgr.ReconcileWith([]transport.NodeID{"n1"}, nil); err != nil {
+	if _, err := h.node("n2").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n1"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	e1, _ := h.node("n1").reg.Get("f1")

@@ -27,6 +27,7 @@ package script
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -434,7 +435,7 @@ func (e *Engine) cmdReconcile(args []string) error {
 			}
 		}
 	}
-	report, err := reconcile.Run(n, peers, reconcile.Handlers{})
+	report, err := reconcile.Run(context.Background(), n, peers, reconcile.Handlers{})
 	if err != nil {
 		return err
 	}

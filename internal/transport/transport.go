@@ -4,12 +4,18 @@
 // per-hop cost model, and delivery statistics.
 //
 // Delivery is synchronous (request/response), matching the synchronous
-// update propagation of the dissertation's replication protocol (§4.3).
+// update propagation of the dissertation's replication protocol (§4.3), but
+// every send is bounded by a context.Context: a cancelled or expired context
+// fails the send like ErrUnreachable without delivering the message, which is
+// what bounded blocking during partitions requires. An optional retry policy
+// masks transient message drops of the paper's lossy-link model (§1.1).
 // Partitions are injected with Partition and repaired with Heal; topology
-// watchers (the group membership service) are notified on every change.
+// watchers (the group membership service) are notified on every change in
+// epoch order.
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,6 +33,9 @@ type NodeID string
 var (
 	// ErrUnreachable reports that the destination is in another partition or
 	// crashed. Node failures are treated as single-node partitions (§1.1).
+	// Context cancellation and expiry surface through the same error (with
+	// the context error in the wrap chain): a send abandoned by its caller is
+	// indistinguishable from a lost message at the protocol level.
 	ErrUnreachable = errors.New("transport: node unreachable")
 	// ErrUnknownNode reports a message to a node that never joined.
 	ErrUnknownNode = errors.New("transport: unknown node")
@@ -42,6 +51,7 @@ type Stats struct {
 	Messages int64 // successfully delivered requests
 	Failures int64 // sends that failed with ErrUnreachable
 	Dropped  int64 // messages lost by the drop injector
+	Retries  int64 // re-sends performed by the retry policy
 }
 
 // CostModel simulates the time cost of one network hop. The zero value costs
@@ -54,6 +64,16 @@ type CostModel struct {
 
 func (c CostModel) charge() {
 	simtime.Charge(c.PerMessage)
+}
+
+// RetryPolicy masks transient message loss (§1.1: links "may fail by losing
+// some messages") by re-sending failed messages. Attempts is the total number
+// of tries (values below 1 mean a single try); Backoff is the simulated cost
+// charged before every re-send, so retried messages pay realistic latency
+// under the calibrated cost model.
+type RetryPolicy struct {
+	Attempts int
+	Backoff  time.Duration
 }
 
 // DropFunc decides whether one message is lost in transit (the paper's link
@@ -70,12 +90,19 @@ type Network struct {
 	nodes    map[NodeID]*endpoint
 	group    map[NodeID]int // partition index per node; all 0 when healthy
 	epoch    int64          // bumped on every topology change
-	watchers []func()
+	watchers []func(epoch int64)
 	drop     DropFunc
+	retry    RetryPolicy
+
+	// notifyMu serialises watcher notification outside n.mu; lastNotified
+	// keeps notifications monotone in epoch when topology changes overlap.
+	notifyMu     sync.Mutex
+	lastNotified int64
 
 	messages *obs.Counter
 	failures *obs.Counter
 	dropped  *obs.Counter
+	retries  *obs.Counter
 	sendTime *obs.Histogram
 }
 
@@ -91,6 +118,11 @@ type Option func(*Network)
 // WithCost installs a per-hop cost model.
 func WithCost(c CostModel) Option {
 	return func(n *Network) { n.cost = c }
+}
+
+// WithRetry installs a send retry policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(n *Network) { n.retry = p }
 }
 
 // WithObserver attaches the fabric to a shared observability scope; without
@@ -114,6 +146,7 @@ func NewNetwork(opts ...Option) *Network {
 	n.messages = n.obs.Counter("transport.messages")
 	n.failures = n.obs.Counter("transport.failures")
 	n.dropped = n.obs.Counter("transport.dropped")
+	n.retries = n.obs.Counter("transport.retries")
 	n.sendTime = n.obs.Histogram("transport.send.duration")
 	return n
 }
@@ -121,17 +154,24 @@ func NewNetwork(opts ...Option) *Network {
 // Observer returns the network's observability scope.
 func (n *Network) Observer() *obs.Observer { return n.obs }
 
+// SetRetry installs (or clears, with the zero value) the send retry policy.
+func (n *Network) SetRetry(p RetryPolicy) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.retry = p
+}
+
 // Join adds a node to the fabric (initially in the common partition).
 func (n *Network) Join(id NodeID) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, ok := n.nodes[id]; ok {
+		n.mu.Unlock()
 		return fmt.Errorf("transport: node %s already joined", id)
 	}
 	n.nodes[id] = &endpoint{handlers: make(map[string]Handler), up: true}
 	n.group[id] = 0
 	n.epoch++
-	n.notifyLocked()
+	n.notifyAndUnlock()
 	return nil
 }
 
@@ -162,12 +202,49 @@ func (n *Network) Handle(id NodeID, kind string, h Handler) error {
 }
 
 // Send delivers a request from one node to another and returns the response.
-// It fails with ErrUnreachable when the nodes are in different partitions or
-// the destination is crashed.
-func (n *Network) Send(from, to NodeID, kind string, payload any) (any, error) {
+// It fails with ErrUnreachable when the nodes are in different partitions,
+// the destination is crashed, or the context is cancelled or past its
+// deadline (the message is then not delivered). When a retry policy is
+// installed, transiently failed sends are re-tried up to Attempts times with
+// the policy's Backoff charged as simulated cost before each re-send.
+func (n *Network) Send(ctx context.Context, from, to NodeID, kind string, payload any) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n.mu.RLock()
+	retry := n.retry
+	n.mu.RUnlock()
+	attempts := retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var resp any
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			n.retries.Inc()
+			simtime.Charge(retry.Backoff)
+		}
+		resp, err = n.sendOnce(ctx, from, to, kind, payload)
+		if err == nil || !errors.Is(err, ErrUnreachable) || ctx.Err() != nil {
+			// Only transient unreachability is worth re-trying; unknown nodes,
+			// missing handlers and cancelled contexts fail permanently.
+			return resp, err
+		}
+	}
+	return resp, err
+}
+
+// sendOnce performs one delivery attempt.
+func (n *Network) sendOnce(ctx context.Context, from, to NodeID, kind string, payload any) (any, error) {
+	if cerr := ctx.Err(); cerr != nil {
+		n.failures.Inc()
+		return nil, fmt.Errorf("%w: %s -> %s: %w", ErrUnreachable, from, to, cerr)
+	}
 	n.mu.RLock()
 	ep, known := n.nodes[to]
 	reachable := known && n.connectedLocked(from, to)
+	drop := n.drop
 	n.mu.RUnlock()
 	if !known {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
@@ -176,9 +253,6 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) (any, error) {
 		n.failures.Inc()
 		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
-	n.mu.RLock()
-	drop := n.drop
-	n.mu.RUnlock()
 	if drop != nil && drop(from, to, kind) {
 		n.dropped.Inc()
 		n.failures.Inc()
@@ -194,6 +268,12 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) (any, error) {
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoHandler, kind, to)
 	}
 	n.cost.charge()
+	// The hop cost may outlive the caller's deadline: the request is then
+	// abandoned in flight and must not be delivered.
+	if cerr := ctx.Err(); cerr != nil {
+		n.failures.Inc()
+		return nil, fmt.Errorf("%w: %s -> %s: %w", ErrUnreachable, from, to, cerr)
+	}
 	n.messages.Inc()
 	if n.obs.Tracing() {
 		// Timing and event emission only when tracing is on: the hot path
@@ -247,7 +327,6 @@ func (n *Network) ReachableFrom(id NodeID) []NodeID {
 // is unaffected.
 func (n *Network) Partition(groups ...[]NodeID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	assigned := make(map[NodeID]bool)
 	for i, g := range groups {
 		for _, id := range g {
@@ -261,41 +340,42 @@ func (n *Network) Partition(groups ...[]NodeID) {
 		}
 	}
 	n.epoch++
-	n.notifyLocked()
+	n.notifyAndUnlock()
 }
 
 // Heal repairs all link failures, reuniting every partition.
 func (n *Network) Heal() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for id := range n.group {
 		n.group[id] = 0
 	}
 	n.epoch++
-	n.notifyLocked()
+	n.notifyAndUnlock()
 }
 
 // Crash marks a node failed (a pause-crash per §1.1): it is unreachable from
 // everyone until Recover.
 func (n *Network) Crash(id NodeID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if ep, ok := n.nodes[id]; ok {
 		ep.up = false
 		n.epoch++
-		n.notifyLocked()
+		n.notifyAndUnlock()
+		return
 	}
+	n.mu.Unlock()
 }
 
 // Recover brings a crashed node back.
 func (n *Network) Recover(id NodeID) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if ep, ok := n.nodes[id]; ok {
 		ep.up = true
 		n.epoch++
-		n.notifyLocked()
+		n.notifyAndUnlock()
+		return
 	}
+	n.mu.Unlock()
 }
 
 // Epoch returns the topology epoch, bumped on every change.
@@ -305,23 +385,35 @@ func (n *Network) Epoch() int64 {
 	return n.epoch
 }
 
-// Watch registers a callback invoked (synchronously, without the network
-// lock ordering guarantees beyond per-change) after every topology change.
-func (n *Network) Watch(fn func()) {
+// Watch registers a callback invoked after every topology change with the
+// epoch of that change. Notifications are serialised and monotone in epoch:
+// when changes overlap, a notification that lost the race to a newer one is
+// suppressed (its watchers have already seen the newer state).
+func (n *Network) Watch(fn func(epoch int64)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.watchers = append(n.watchers, fn)
 }
 
-func (n *Network) notifyLocked() {
-	watchers := make([]func(), len(n.watchers))
+// notifyAndUnlock snapshots the watcher list and epoch, releases n.mu (so
+// watchers may query the network) and notifies under notifyMu. Overlapping
+// Partition/Heal/Crash calls therefore cannot deliver notifications out of
+// epoch order: the stale notification is dropped after the newer one ran.
+func (n *Network) notifyAndUnlock() {
+	epoch := n.epoch
+	watchers := make([]func(int64), len(n.watchers))
 	copy(watchers, n.watchers)
-	// Release the lock while notifying so watchers may query the network.
 	n.mu.Unlock()
-	for _, w := range watchers {
-		w()
+
+	n.notifyMu.Lock()
+	defer n.notifyMu.Unlock()
+	if epoch <= n.lastNotified {
+		return // a newer change already notified; this snapshot is stale
 	}
-	n.mu.Lock()
+	n.lastNotified = epoch
+	for _, w := range watchers {
+		w(epoch)
+	}
 }
 
 // SetDrop installs (or clears, with nil) the message-loss injector.
@@ -333,11 +425,18 @@ func (n *Network) SetDrop(d DropFunc) {
 
 // Stats returns delivery counters.
 func (n *Network) Stats() Stats {
-	return Stats{Messages: n.messages.Load(), Failures: n.failures.Load(), Dropped: n.dropped.Load()}
+	return Stats{
+		Messages: n.messages.Load(),
+		Failures: n.failures.Load(),
+		Dropped:  n.dropped.Load(),
+		Retries:  n.retries.Load(),
+	}
 }
 
 // ResetStats zeroes the delivery counters.
 func (n *Network) ResetStats() {
 	n.messages.Reset()
 	n.failures.Reset()
+	n.dropped.Reset()
+	n.retries.Reset()
 }

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -36,17 +38,17 @@ func TestSendAndHandlers(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := n.Send("n1", "n2", "ping", "hello")
+	resp, err := n.Send(context.Background(), "n1", "n2", "ping", "hello")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp != "n1:hello" {
 		t.Fatalf("resp = %v", resp)
 	}
-	if _, err := n.Send("n1", "n2", "nope", nil); !errors.Is(err, ErrNoHandler) {
+	if _, err := n.Send(context.Background(), "n1", "n2", "nope", nil); !errors.Is(err, ErrNoHandler) {
 		t.Fatalf("missing handler err = %v", err)
 	}
-	if _, err := n.Send("n1", "ghost", "ping", nil); !errors.Is(err, ErrUnknownNode) {
+	if _, err := n.Send(context.Background(), "n1", "ghost", "ping", nil); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("unknown node err = %v", err)
 	}
 	if err := n.Handle("ghost", "ping", nil); !errors.Is(err, ErrUnknownNode) {
@@ -70,7 +72,7 @@ func TestPartitionBlocksTraffic(t *testing.T) {
 	if !n.Connected("n1", "n2") {
 		t.Fatal("same-partition nodes disconnected")
 	}
-	if _, err := n.Send("n1", "n3", "ping", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Send(context.Background(), "n1", "n3", "ping", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("cross-partition send err = %v", err)
 	}
 	if n.Stats().Failures != 1 {
@@ -80,7 +82,7 @@ func TestPartitionBlocksTraffic(t *testing.T) {
 	if !n.Connected("n1", "n3") {
 		t.Fatal("heal did not reconnect")
 	}
-	if _, err := n.Send("n1", "n3", "ping", nil); err != nil {
+	if _, err := n.Send(context.Background(), "n1", "n3", "ping", nil); err != nil {
 		t.Fatalf("send after heal: %v", err)
 	}
 }
@@ -130,7 +132,7 @@ func TestWatchersAndEpoch(t *testing.T) {
 	n := NewNetwork()
 	var mu sync.Mutex
 	calls := 0
-	n.Watch(func() {
+	n.Watch(func(int64) {
 		mu.Lock()
 		calls++
 		mu.Unlock()
@@ -160,7 +162,7 @@ func TestWatchersAndEpoch(t *testing.T) {
 func TestWatcherMayQueryNetwork(t *testing.T) {
 	n := NewNetwork()
 	var reach []NodeID
-	n.Watch(func() { reach = n.ReachableFrom("n1") })
+	n.Watch(func(int64) { reach = n.ReachableFrom("n1") })
 	if err := n.Join("n1"); err != nil {
 		t.Fatal(err)
 	}
@@ -169,6 +171,56 @@ func TestWatcherMayQueryNetwork(t *testing.T) {
 	}
 	if len(reach) != 2 {
 		t.Fatalf("watcher saw reach = %v", reach)
+	}
+}
+
+// TestWatcherEpochOrder drives overlapping topology changes from many
+// goroutines and asserts that every watcher observes strictly increasing
+// epochs: stale notifications must be suppressed, not delivered late.
+func TestWatcherEpochOrder(t *testing.T) {
+	n := NewNetwork()
+	for _, id := range []NodeID{"n1", "n2", "n3", "n4"} {
+		if err := n.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	var seen []int64
+	n.Watch(func(epoch int64) {
+		mu.Lock()
+		seen = append(seen, epoch)
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch w % 4 {
+				case 0:
+					n.Partition([]NodeID{"n1"}, []NodeID{"n2", "n3", "n4"})
+				case 1:
+					n.Heal()
+				case 2:
+					n.Crash("n3")
+				default:
+					n.Recover("n3")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 {
+		t.Fatal("no notifications delivered")
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("epochs out of order at %d: %d after %d", i, seen[i], seen[i-1])
+		}
 	}
 }
 
@@ -186,7 +238,7 @@ func TestCostModelCharges(t *testing.T) {
 	start := time.Now()
 	const sends = 20
 	for i := 0; i < sends; i++ {
-		if _, err := n.Send("a", "b", "ping", nil); err != nil {
+		if _, err := n.Send(context.Background(), "a", "b", "ping", nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -195,12 +247,157 @@ func TestCostModelCharges(t *testing.T) {
 	}
 }
 
+func TestSendCancelledContext(t *testing.T) {
+	n := newThreeNodeNet(t)
+	var delivered atomic.Int64
+	if err := n.Handle("n2", "k", func(NodeID, any) (any, error) {
+		delivered.Add(1)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := n.Send(ctx, "n1", "n2", "k", nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("cancelled send err = %v, want ErrUnreachable", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled send err = %v, want context.Canceled in chain", err)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("cancelled send was delivered")
+	}
+	if n.Stats().Failures != 1 {
+		t.Fatalf("failures = %d, want 1", n.Stats().Failures)
+	}
+}
+
+func TestSendDeadlineExpiresDuringHop(t *testing.T) {
+	n := NewNetwork(WithCost(CostModel{PerMessage: 30 * time.Millisecond}))
+	for _, id := range []NodeID{"a", "b"} {
+		if err := n.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var delivered atomic.Int64
+	if err := n.Handle("b", "k", func(NodeID, any) (any, error) {
+		delivered.Add(1)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := n.Send(ctx, "a", "b", "k", nil)
+	if !errors.Is(err, ErrUnreachable) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired send err = %v", err)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("message delivered past its deadline")
+	}
+}
+
+// TestRetryMasksTransientDrop arms a one-shot drop and verifies that the
+// retry policy re-sends and the message gets through.
+func TestRetryMasksTransientDrop(t *testing.T) {
+	n := NewNetwork(WithRetry(RetryPolicy{Attempts: 3}))
+	for _, id := range []NodeID{"a", "b"} {
+		if err := n.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Handle("b", "k", func(NodeID, any) (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+	var dropped atomic.Bool
+	n.SetDrop(func(from, to NodeID, kind string) bool {
+		return dropped.CompareAndSwap(false, true) // lose exactly the first message
+	})
+	resp, err := n.Send(context.Background(), "a", "b", "k", nil)
+	if err != nil {
+		t.Fatalf("retried send failed: %v", err)
+	}
+	if resp != "ok" {
+		t.Fatalf("resp = %v", resp)
+	}
+	st := n.Stats()
+	if st.Retries != 1 || st.Dropped != 1 || st.Messages != 1 {
+		t.Fatalf("stats = %+v, want 1 retry, 1 drop, 1 message", st)
+	}
+}
+
+// TestRetryStopsOnCancelledContext verifies that retries never outlive the
+// caller's context.
+func TestRetryStopsOnCancelledContext(t *testing.T) {
+	n := NewNetwork(WithRetry(RetryPolicy{Attempts: 5}))
+	for _, id := range []NodeID{"a", "b"} {
+		if err := n.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Handle("b", "k", func(NodeID, any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	n.SetDrop(func(from, to NodeID, kind string) bool {
+		if calls.Add(1) == 1 {
+			cancel() // drop the first attempt and cancel the caller
+		}
+		return true
+	})
+	_, err := n.Send(ctx, "a", "b", "k", nil)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts after cancel = %d, want 1", got)
+	}
+}
+
+func TestRetryDoesNotMaskPersistentPartition(t *testing.T) {
+	n := NewNetwork(WithRetry(RetryPolicy{Attempts: 3}))
+	for _, id := range []NodeID{"a", "b"} {
+		if err := n.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Partition([]NodeID{"a"}, []NodeID{"b"})
+	if _, err := n.Send(context.Background(), "a", "b", "k", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if st := n.Stats(); st.Retries != 2 || st.Failures != 3 {
+		t.Fatalf("stats = %+v, want 2 retries / 3 failures", st)
+	}
+}
+
+// TestResetStatsZeroesDropped is the regression test for the ResetStats bug:
+// it previously reset messages and failures but left the dropped counter.
+func TestResetStatsZeroesDropped(t *testing.T) {
+	n := newThreeNodeNet(t)
+	if err := n.Handle("n2", "k", func(NodeID, any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDrop(func(from, to NodeID, kind string) bool { return true })
+	if _, err := n.Send(context.Background(), "n1", "n2", "k", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dropped send err = %v", err)
+	}
+	if n.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", n.Stats().Dropped)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset = %+v, want all zero", s)
+	}
+}
+
 func TestResetStats(t *testing.T) {
 	n := newThreeNodeNet(t)
 	if err := n.Handle("n2", "k", func(NodeID, any) (any, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n.Send("n1", "n2", "k", nil); err != nil {
+	if _, err := n.Send(context.Background(), "n1", "n2", "k", nil); err != nil {
 		t.Fatal(err)
 	}
 	n.ResetStats()
@@ -220,7 +417,7 @@ func TestConcurrentSends(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
-				_, _ = n.Send("n1", "n2", "k", i)
+				_, _ = n.Send(context.Background(), "n1", "n2", "k", i)
 			}
 		}()
 	}

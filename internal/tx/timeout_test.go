@@ -1,6 +1,7 @@
 package tx
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -39,6 +40,59 @@ func TestLockTimeoutPrecision(t *testing.T) {
 	}
 	if got := m.obs.Registry().Counter("tx.lock.timeouts").Load(); got != 1 {
 		t.Fatalf("tx.lock.timeouts = %d, want 1", got)
+	}
+}
+
+// A transaction context's deadline bounds the lock wait even when it is
+// tighter than the manager's lock timeout, and the context error appears in
+// the wrap chain.
+func TestLockWaitBoundedByContextDeadline(t *testing.T) {
+	m := NewManager(WithLockTimeout(10 * time.Second))
+	id := object.ID("obj-ctx")
+	holder := m.Begin()
+	if err := holder.Lock(id); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	waiter := m.BeginCtx(ctx)
+	start := time.Now()
+	err := waiter.Lock(id)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("Lock = %v, want ErrLockTimeout", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Lock = %v, want context.DeadlineExceeded in chain", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("ctx-bounded wait took %v", elapsed)
+	}
+}
+
+// Cancelling the transaction context releases a blocked lock waiter promptly.
+func TestLockWaitCancelledContext(t *testing.T) {
+	m := NewManager(WithLockTimeout(10 * time.Second))
+	id := object.ID("obj-cancel")
+	holder := m.Begin()
+	if err := holder.Lock(id); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := m.BeginCtx(ctx)
+	got := make(chan error, 1)
+	go func() { got <- waiter.Lock(id) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrLockTimeout) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("Lock = %v, want ErrLockTimeout wrapping context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled waiter not released")
 	}
 }
 

@@ -6,6 +6,7 @@
 package tx
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -124,8 +125,18 @@ func (m *Manager) RegisterResource(r Resource) {
 	m.resources = append(m.resources, r)
 }
 
-// Begin starts a transaction.
-func (m *Manager) Begin() *Tx {
+// Begin starts a transaction with a background context.
+func (m *Manager) Begin() *Tx { return m.BeginCtx(context.Background()) }
+
+// BeginCtx starts a transaction bound to the given context: lock waits and
+// commit-time propagation are cancelled when the context is. The context
+// does not abort the transaction by itself — the caller still drives
+// Commit/Rollback — but every blocking operation inside the transaction
+// observes it.
+func (m *Manager) BeginCtx(ctx context.Context) *Tx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m.mu.Lock()
 	global := make([]Resource, len(m.resources))
 	copy(global, m.resources)
@@ -134,6 +145,7 @@ func (m *Manager) Begin() *Tx {
 	return &Tx{
 		id:        m.seq.Add(1),
 		mgr:       m,
+		ctx:       ctx,
 		status:    Active,
 		resources: global,
 		vals:      make(map[string]any),
@@ -146,6 +158,7 @@ func (m *Manager) Begin() *Tx {
 type Tx struct {
 	id  int64
 	mgr *Manager
+	ctx context.Context
 
 	status       Status
 	rollbackOnly bool
@@ -164,6 +177,15 @@ type undoRecord struct {
 
 // ID returns the transaction identifier (unique per manager).
 func (t *Tx) ID() int64 { return t.id }
+
+// Context returns the context the transaction was begun with (never nil).
+// Middleware resources use it to bound commit-time propagation.
+func (t *Tx) Context() context.Context {
+	if t.ctx == nil {
+		return context.Background()
+	}
+	return t.ctx
+}
 
 // Status returns the transaction status.
 func (t *Tx) Status() Status { return t.status }
@@ -205,10 +227,10 @@ func (t *Tx) Lock(id object.ID) error {
 		// Wait-time measurement only when tracing: the common path pays no
 		// clock reads beyond what acquire itself needs.
 		start := time.Now()
-		err = m.locks.acquire(id, t.id, m.lockTimeout)
+		err = m.locks.acquire(t.Context(), id, t.id, m.lockTimeout)
 		m.lockWait.Observe(time.Since(start))
 	} else {
-		err = m.locks.acquire(id, t.id, m.lockTimeout)
+		err = m.locks.acquire(t.Context(), id, t.id, m.lockTimeout)
 	}
 	if err != nil {
 		m.lockTimeouts.Inc()
@@ -342,11 +364,22 @@ func newLockTable() *lockTable {
 	return lt
 }
 
-func (lt *lockTable) acquire(id object.ID, txID int64, timeout time.Duration) error {
+func (lt *lockTable) acquire(ctx context.Context, id object.ID, txID int64, timeout time.Duration) error {
+	// The wait is bounded by whichever is tighter: the manager's lock
+	// timeout or the transaction context's deadline. Cancellation surfaces
+	// as ErrLockTimeout with the context error in the wrap chain.
 	deadline := time.Now().Add(timeout)
+	ctxBound := false
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+		ctxBound = true
+	}
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%w: object %s: %w", ErrLockTimeout, id, cerr)
+		}
 		owner, locked := lt.owner[id]
 		if !locked {
 			lt.owner[id] = txID
@@ -357,6 +390,14 @@ func (lt *lockTable) acquire(id object.ID, txID int64, timeout time.Duration) er
 		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("%w: object %s: %w", ErrLockTimeout, id, cerr)
+			}
+			if ctxBound {
+				// The context deadline was the binding bound; its timer may
+				// lag our clock check by a few microseconds.
+				return fmt.Errorf("%w: object %s: %w", ErrLockTimeout, id, context.DeadlineExceeded)
+			}
 			return fmt.Errorf("%w: object %s held by tx %d", ErrLockTimeout, id, owner)
 		}
 		// Wake periodically to re-check the deadline; broadcast on release
