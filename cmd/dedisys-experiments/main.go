@@ -30,15 +30,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dedisys-experiments", flag.ContinueOnError)
 	var (
-		quick     = fs.Bool("quick", false, "small scale, zero simulated hardware costs")
-		list      = fs.Bool("list", false, "list experiment IDs and exit")
-		ops       = fs.Int("ops", 0, "operations per measured case (default 1000)")
-		runs      = fs.Int("runs", 0, "scenario repetitions for the chapter-2 study (default 20)")
-		netCost   = fs.Duration("netcost", -1, "simulated per-message network cost (default 120µs)")
-		storeCost = fs.Duration("storecost", -1, "simulated per-write database cost (default 80µs)")
-		csvDir    = fs.String("csv", "", "also write each result as CSV into this directory")
-		metrics   = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
-		trace     = fs.Bool("trace", false, "record structured events and dump the trace after each experiment")
+		quick          = fs.Bool("quick", false, "small scale, zero simulated hardware costs")
+		list           = fs.Bool("list", false, "list experiment IDs and exit")
+		ops            = fs.Int("ops", 0, "operations per measured case (default 1000)")
+		runs           = fs.Int("runs", 0, "scenario repetitions for the chapter-2 study (default 20)")
+		netCost        = fs.Duration("netcost", -1, "simulated per-message network cost (default 120µs)")
+		storeCost      = fs.Duration("storecost", -1, "simulated per-write database cost (default 80µs)")
+		hbInterval     = fs.Duration("heartbeat-interval", 0, "exp-detect: failure detector heartbeat period (default 5ms)")
+		suspectTimeout = fs.Duration("suspect-timeout", 0, "exp-detect: fixed-timeout silence tolerance (default 5 intervals)")
+
+		csvDir  = fs.String("csv", "", "also write each result as CSV into this directory")
+		metrics = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
+		trace   = fs.Bool("trace", false, "record structured events and dump the trace after each experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +70,12 @@ func run(args []string) error {
 	}
 	if *storeCost >= 0 {
 		cfg.StoreCost = *storeCost
+	}
+	if *hbInterval > 0 {
+		cfg.HeartbeatInterval = *hbInterval
+	}
+	if *suspectTimeout > 0 {
+		cfg.SuspectTimeout = *suspectTimeout
 	}
 	var observer *obs.Observer
 	if *metrics || *trace {

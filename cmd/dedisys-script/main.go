@@ -18,7 +18,9 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"dedisys/internal/detect"
 	"dedisys/internal/obs"
 	"dedisys/internal/script"
 )
@@ -56,7 +58,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	demo := fs.Bool("demo", false, "run the built-in flight booking scenario")
 	metrics := fs.Bool("metrics", false, "dump the metrics registry after the run")
 	trace := fs.Bool("trace", false, "record structured events and dump the trace after the run")
+	detector := fs.String("detector", "", "drive membership from heartbeat failure detection: fixed or phi")
+	hbInterval := fs.Duration("heartbeat-interval", 0, "failure detector heartbeat period (default 10ms)")
+	suspectTimeout := fs.Duration("suspect-timeout", 0, "silence tolerance before suspecting a peer (default 5 intervals)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	detectCfg, err := detectConfig(*detector, *hbInterval, *suspectTimeout)
+	if err != nil {
 		return err
 	}
 	var src io.Reader
@@ -73,9 +82,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer func() { _ = f.Close() }()
 		src = f
 	default:
-		return fmt.Errorf("usage: dedisys-script [-demo] [-metrics] [-trace] <scenario-file|->")
+		return fmt.Errorf("usage: dedisys-script [-demo] [-metrics] [-trace] [-detector fixed|phi] <scenario-file|->")
 	}
 	eng := script.New(stdout)
+	eng.Detect = detectCfg
 	if *metrics || *trace {
 		eng.Obs = obs.New()
 		eng.Obs.Tracer().SetEnabled(*trace)
@@ -92,4 +102,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	return runErr
+}
+
+// detectConfig turns the -detector/-heartbeat-interval/-suspect-timeout flags
+// into a detector configuration (nil when failure detection is off).
+func detectConfig(policy string, interval, timeout time.Duration) (*detect.Config, error) {
+	if policy == "" {
+		if interval > 0 || timeout > 0 {
+			return nil, fmt.Errorf("-heartbeat-interval/-suspect-timeout require -detector")
+		}
+		return nil, nil
+	}
+	cfg := &detect.Config{Interval: interval, SuspectTimeout: timeout}
+	switch policy {
+	case "fixed":
+		// default policy
+	case "phi":
+		cfg.Policy = detect.PhiAccrual{}
+	default:
+		return nil, fmt.Errorf("unknown detector policy %q (want fixed or phi)", policy)
+	}
+	return cfg, nil
 }

@@ -28,6 +28,12 @@ type Config struct {
 	StoreCost time.Duration
 	// Entities is the object population for the Chapter 5 workloads.
 	Entities int
+	// HeartbeatInterval is the failure-detector heartbeat period for the
+	// detector experiment (0 uses the detector default).
+	HeartbeatInterval time.Duration
+	// SuspectTimeout is the fixed-timeout silence tolerance for the detector
+	// experiment (0 uses the detector default of 5 intervals).
+	SuspectTimeout time.Duration
 	// Obs, when set, is shared by every cluster the experiments build so one
 	// registry/trace dump covers the whole run (--metrics/--trace).
 	Obs *obs.Observer
@@ -198,6 +204,7 @@ func Registry() []Experiment {
 		{ID: "exp-async", Title: "Asynchronous constraints vs soft constraints in degraded mode (§5.5.3)", Run: runAsync},
 		{ID: "exp-psc", Title: "Partition-sensitive ticket constraint (§5.5.2)", Run: runPSC},
 		{ID: "exp-avail", Title: "Availability during partitions: P4 + trading vs primary partition", Run: runAvail},
+		{ID: "exp-detect", Title: "Failure detection and rejoin latency by suspicion policy", Run: runDetect},
 		{ID: "abl-protocols", Title: "Ablation: replica-control protocols", Run: runAblProtocols},
 		{ID: "abl-intra", Title: "Ablation: intra-object constraint classification (§3.1)", Run: runAblIntra},
 		{ID: "abl-repocache", Title: "Ablation: constraint repository cache in the middleware", Run: runAblRepoCache},

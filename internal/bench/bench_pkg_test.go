@@ -223,3 +223,30 @@ func TestFig58Shape(t *testing.T) {
 		t.Errorf("identical-once (%.1f) should beat full history (%.1f) in later iterations", onceLater, fullLater)
 	}
 }
+
+func TestDetectShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	res, err := runDetect(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{"fixed-timeout", "phi-accrual"} {
+		d, ok := res.Cell(policy, "detect-ms")
+		if !ok {
+			t.Fatalf("missing detect-ms for %s", policy)
+		}
+		// 5ms heartbeat interval: detection can never be faster than one
+		// period, and the oracle's instant zero would be a regression.
+		if d < 5 {
+			t.Errorf("%s: detection latency %.2fms, want >= one 5ms interval", policy, d)
+		}
+		if r, ok := res.Cell(policy, "rejoin-ms"); !ok || r <= 0 {
+			t.Errorf("%s: rejoin latency %.2fms, want > 0", policy, r)
+		}
+		if hb, ok := res.Cell(policy, "heartbeats"); !ok || hb <= 0 {
+			t.Errorf("%s: no heartbeats recorded", policy)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package detect
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dedisys/internal/transport"
+)
+
+func newDetectorNet(t *testing.T, size int) (*transport.Network, []transport.NodeID) {
+	t.Helper()
+	net := transport.NewNetwork()
+	ids := make([]transport.NodeID, size)
+	for i := range ids {
+		ids[i] = transport.NodeID([]string{"n1", "n2", "n3", "n4"}[i])
+		if err := net.Join(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, ids
+}
+
+func startDetectors(t *testing.T, net *transport.Network, ids []transport.NodeID, cfg Config) []*Detector {
+	t.Helper()
+	ds := make([]*Detector, len(ids))
+	for i, id := range ids {
+		d, err := New(net, id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = d
+	}
+	for _, d := range ds {
+		d.Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range ds {
+			d.Stop()
+		}
+	})
+	return ds
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %s: %s", timeout, msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func contains(ids []transport.NodeID, id transport.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInitialViewSeedsAllPeers(t *testing.T) {
+	net, ids := newDetectorNet(t, 3)
+	ds := startDetectors(t, net, ids, Config{Interval: 2 * time.Millisecond})
+	_, view := ds[0].Current()
+	if len(view) != 3 {
+		t.Fatalf("initial view = %v, want all 3 nodes", view)
+	}
+}
+
+func TestCrashSuspicionAndRejoin(t *testing.T) {
+	net, ids := newDetectorNet(t, 3)
+	ds := startDetectors(t, net, ids, Config{Interval: 2 * time.Millisecond})
+
+	// Let a few heartbeat rounds establish freshness.
+	waitFor(t, 2*time.Second, func() bool { return ds[0].Stats().HeartbeatsSent >= 4 }, "heartbeats flowing")
+
+	net.Crash("n3")
+	start := time.Now()
+	waitFor(t, 5*time.Second, func() bool {
+		_, v := ds[0].Current()
+		return !contains(v, "n3")
+	}, "n1 suspects crashed n3")
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("detection took %s, want well under 1s at 2ms interval", elapsed)
+	}
+	s := ds[0].Stats()
+	if s.Suspicions < 1 {
+		t.Fatalf("suspicions = %d, want >= 1", s.Suspicions)
+	}
+	if s.FalseSuspicions != 0 {
+		t.Fatalf("false suspicions = %d for a real crash", s.FalseSuspicions)
+	}
+	if s.DetectionSamples < 1 || s.DetectionLatency < 2*time.Millisecond {
+		t.Fatalf("detection latency = %s over %d samples, want >= one interval",
+			s.DetectionLatency, s.DetectionSamples)
+	}
+
+	net.Recover("n3")
+	waitFor(t, 5*time.Second, func() bool {
+		_, v := ds[0].Current()
+		return contains(v, "n3")
+	}, "n1 re-admits recovered n3")
+	s = ds[0].Stats()
+	if s.RejoinSamples < 1 || s.RejoinLatency <= 0 {
+		t.Fatalf("rejoin latency = %s over %d samples, want a positive sample",
+			s.RejoinLatency, s.RejoinSamples)
+	}
+}
+
+func TestLossyLinkCausesFalseSuspicion(t *testing.T) {
+	net, ids := newDetectorNet(t, 3)
+	// Drop every heartbeat between n1 and n2, both directions. The nodes stay
+	// reachable per the topology, so resulting suspicions are false.
+	net.SetDrop(func(from, to transport.NodeID, kind string) bool {
+		if kind != MsgHeartbeat {
+			return false
+		}
+		return (from == "n1" && to == "n2") || (from == "n2" && to == "n1")
+	})
+	ds := startDetectors(t, net, ids, Config{Interval: 2 * time.Millisecond})
+
+	waitFor(t, 5*time.Second, func() bool { return ds[0].Stats().FalseSuspicions >= 1 },
+		"n1 falsely suspects n2 under full heartbeat loss")
+	_, v := ds[0].Current()
+	if contains(v, "n2") {
+		t.Fatalf("n1's view %v still contains n2 despite suspicion", v)
+	}
+	if !contains(v, "n3") {
+		t.Fatalf("n1's view %v lost n3, whose heartbeats were not dropped", v)
+	}
+
+	// The link recovers: the false suspicion must heal into a re-admission.
+	net.SetDrop(nil)
+	waitFor(t, 5*time.Second, func() bool {
+		_, v := ds[0].Current()
+		return contains(v, "n2")
+	}, "n1 re-admits n2 once heartbeats resume")
+}
+
+func TestAsymmetricViewsUnderPartialLoss(t *testing.T) {
+	net, ids := newDetectorNet(t, 3)
+	// Only n1 loses n3's heartbeats (and its own to n3): n2 keeps perfect
+	// connectivity, so n1 and n2 legitimately disagree about the membership.
+	net.SetDrop(func(from, to transport.NodeID, kind string) bool {
+		if kind != MsgHeartbeat {
+			return false
+		}
+		return (from == "n1" && to == "n3") || (from == "n3" && to == "n1")
+	})
+	ds := startDetectors(t, net, ids, Config{Interval: 2 * time.Millisecond})
+
+	waitFor(t, 5*time.Second, func() bool {
+		_, v1 := ds[0].Current()
+		return !contains(v1, "n3")
+	}, "n1 drops n3 from its view")
+	_, v2 := ds[1].Current()
+	if !contains(v2, "n3") {
+		t.Fatalf("n2's view %v lost n3 although their link is clean", v2)
+	}
+}
+
+func TestPiggybackedDiscovery(t *testing.T) {
+	net, ids := newDetectorNet(t, 3)
+	ds := make([]*Detector, len(ids))
+	for i, id := range ids {
+		d, err := New(net, id, Config{Interval: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = d
+	}
+	t.Cleanup(func() {
+		for _, d := range ds {
+			d.Stop()
+		}
+	})
+	// n4 joins after the detectors were built: none of them seeded it, so it
+	// can only be discovered through piggybacked Known lists once its own
+	// heartbeats reach somebody.
+	if err := net.Join("n4"); err != nil {
+		t.Fatal(err)
+	}
+	late, err := New(net, "n4", Config{Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(late.Stop)
+	for _, d := range ds {
+		d.Start()
+	}
+	late.Start()
+
+	waitFor(t, 5*time.Second, func() bool {
+		for _, d := range ds {
+			_, v := d.Current()
+			if !contains(v, "n4") {
+				return false
+			}
+		}
+		return true
+	}, "all detectors discover the late joiner n4")
+}
+
+func TestOnChangeEpochsMonotone(t *testing.T) {
+	net, ids := newDetectorNet(t, 3)
+	d, err := New(net, ids[0], Config{Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	var mu sync.Mutex
+	var epochs []int64
+	d.OnChange(func(epoch int64, members []transport.NodeID) {
+		mu.Lock()
+		epochs = append(epochs, epoch)
+		mu.Unlock()
+	})
+	d.Start()
+	for i, id := range ids[1:] {
+		dd, err := New(net, id, Config{Interval: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(dd.Stop)
+		dd.Start()
+		_ = i
+	}
+	net.Crash("n3")
+	waitFor(t, 5*time.Second, func() bool {
+		_, v := d.Current()
+		return !contains(v, "n3")
+	}, "suspicion notification")
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] <= epochs[i-1] {
+			t.Fatalf("epochs not strictly increasing: %v", epochs)
+		}
+	}
+}
+
+func TestFixedTimeoutMonitor(t *testing.T) {
+	m := FixedTimeout{}.Monitor(10 * time.Millisecond)
+	base := time.Now()
+	if m.Suspect(base) {
+		t.Fatal("suspected before any observation")
+	}
+	m.Observe(base)
+	if m.Suspect(base.Add(49 * time.Millisecond)) {
+		t.Fatal("suspected within the 5-interval default timeout")
+	}
+	if !m.Suspect(base.Add(51 * time.Millisecond)) {
+		t.Fatal("not suspected past the timeout")
+	}
+	m.Observe(base.Add(60 * time.Millisecond))
+	if m.Suspect(base.Add(70 * time.Millisecond)) {
+		t.Fatal("still suspected after a fresh observation")
+	}
+}
+
+func TestPhiAccrualMonitor(t *testing.T) {
+	m := PhiAccrual{}.Monitor(10 * time.Millisecond).(*phiMonitor)
+	base := time.Now()
+	// Regular arrivals every 10ms.
+	for i := 0; i < 20; i++ {
+		m.Observe(base.Add(time.Duration(i) * 10 * time.Millisecond))
+	}
+	last := base.Add(19 * 10 * time.Millisecond)
+	if m.Suspect(last.Add(12 * time.Millisecond)) {
+		t.Fatalf("suspected after a normal gap, phi=%f", m.Phi(last.Add(12*time.Millisecond)))
+	}
+	if !m.Suspect(last.Add(500 * time.Millisecond)) {
+		t.Fatalf("not suspected after 50 missed intervals, phi=%f", m.Phi(last.Add(500*time.Millisecond)))
+	}
+	// Phi grows with silence.
+	p1 := m.Phi(last.Add(100 * time.Millisecond))
+	p2 := m.Phi(last.Add(200 * time.Millisecond))
+	if p2 <= p1 {
+		t.Fatalf("phi not increasing with silence: %f then %f", p1, p2)
+	}
+}
+
+func TestPhiAccrualFallbackBeforeHistory(t *testing.T) {
+	m := PhiAccrual{}.Monitor(10 * time.Millisecond)
+	base := time.Now()
+	m.Observe(base) // a single observation: no interarrival samples yet
+	if m.Suspect(base.Add(40 * time.Millisecond)) {
+		t.Fatal("suspected within the fallback tolerance without history")
+	}
+	if !m.Suspect(base.Add(60 * time.Millisecond)) {
+		t.Fatal("not suspected past the 5-interval fallback")
+	}
+}
+
+func TestStopTerminatesHeartbeats(t *testing.T) {
+	net, ids := newDetectorNet(t, 2)
+	ds := startDetectors(t, net, ids, Config{Interval: time.Millisecond})
+	waitFor(t, 2*time.Second, func() bool { return ds[0].Stats().HeartbeatsSent >= 2 }, "heartbeats flowing")
+	// Both detectors share the network's observer and thus one counter; stop
+	// both before asserting it stays put.
+	for _, d := range ds {
+		d.Stop()
+	}
+	sent := ds[0].Stats().HeartbeatsSent
+	time.Sleep(20 * time.Millisecond)
+	if after := ds[0].Stats().HeartbeatsSent; after != sent {
+		t.Fatalf("heartbeats kept flowing after Stop: %d -> %d", sent, after)
+	}
+	ds[0].Stop() // idempotent
+}
+
+func TestConcurrentViewReads(t *testing.T) {
+	net, ids := newDetectorNet(t, 3)
+	ds := startDetectors(t, net, ids, Config{Interval: time.Millisecond})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, d := range ds {
+		d := d
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.Current()
+				d.Suspects()
+				d.Stats()
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		net.Crash("n3")
+		time.Sleep(2 * time.Millisecond)
+		net.Recover("n3")
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,186 @@
+package detect
+
+import (
+	"math"
+	"time"
+)
+
+// Policy builds per-peer suspicion monitors. A policy decides, from observed
+// heartbeat arrivals only, when a silent peer should be suspected. Policies
+// must be usable concurrently to build monitors; the monitors themselves are
+// serialised by the owning detector and need no internal locking.
+type Policy interface {
+	// Name identifies the policy in traces and benchmark tables.
+	Name() string
+	// Monitor creates fresh per-peer state. The detector's heartbeat
+	// interval is passed so policies can derive sensible defaults before
+	// enough arrivals have been observed.
+	Monitor(interval time.Duration) Monitor
+}
+
+// Monitor tracks one peer's heartbeat freshness. Observe and Suspect are
+// always called under the detector's lock.
+type Monitor interface {
+	// Observe records a liveness proof (a received heartbeat or a heartbeat
+	// acknowledgement) at now.
+	Observe(now time.Time)
+	// Suspect reports whether the peer should be suspected at now.
+	Suspect(now time.Time) bool
+}
+
+// FixedTimeout suspects a peer once no liveness proof arrived for Timeout.
+// It is the classic eventually-perfect detector approximation: simple,
+// predictable detection latency of ~Timeout, but a fixed trade-off between
+// speed and false suspicions under message loss.
+type FixedTimeout struct {
+	// Timeout is the silence tolerance; 0 defaults to 5 heartbeat intervals.
+	Timeout time.Duration
+}
+
+// Name implements Policy.
+func (p FixedTimeout) Name() string { return "fixed-timeout" }
+
+// Monitor implements Policy.
+func (p FixedTimeout) Monitor(interval time.Duration) Monitor {
+	to := p.Timeout
+	if to <= 0 {
+		to = 5 * interval
+	}
+	return &fixedMonitor{timeout: to}
+}
+
+type fixedMonitor struct {
+	timeout time.Duration
+	last    time.Time
+}
+
+func (m *fixedMonitor) Observe(now time.Time) {
+	if now.After(m.last) {
+		m.last = now
+	}
+}
+
+func (m *fixedMonitor) Suspect(now time.Time) bool {
+	return !m.last.IsZero() && now.Sub(m.last) > m.timeout
+}
+
+// PhiAccrual is the accrual failure detector of Hayashibara et al.: instead
+// of a binary timeout it tracks the distribution of heartbeat interarrival
+// times and suspects a peer when the current silence becomes statistically
+// implausible (phi = -log10 P(silence this long | history) crosses
+// Threshold). Under jittery or lossy links it adapts its tolerance to the
+// observed arrival pattern, trading slightly slower detection for far fewer
+// false suspicions than a tight fixed timeout.
+type PhiAccrual struct {
+	// Threshold is the phi value above which the peer is suspected
+	// (default 8, i.e. ~1e-8 plausibility of the observed silence).
+	Threshold float64
+	// Window is the number of interarrival samples kept (default 64).
+	Window int
+	// MinStdDev floors the estimated deviation so near-perfectly regular
+	// arrivals do not make the detector hair-triggered (default a quarter
+	// of the heartbeat interval).
+	MinStdDev time.Duration
+}
+
+// Name implements Policy.
+func (p PhiAccrual) Name() string { return "phi-accrual" }
+
+// Monitor implements Policy.
+func (p PhiAccrual) Monitor(interval time.Duration) Monitor {
+	threshold := p.Threshold
+	if threshold <= 0 {
+		threshold = 8
+	}
+	window := p.Window
+	if window <= 0 {
+		window = 64
+	}
+	minStd := p.MinStdDev
+	if minStd <= 0 {
+		minStd = interval / 4
+	}
+	if minStd <= 0 {
+		minStd = time.Millisecond
+	}
+	return &phiMonitor{
+		threshold: threshold,
+		minStd:    float64(minStd),
+		fallback:  5 * interval,
+		samples:   make([]float64, 0, window),
+	}
+}
+
+type phiMonitor struct {
+	threshold float64
+	minStd    float64       // nanoseconds
+	fallback  time.Duration // silence tolerance until enough samples exist
+
+	last    time.Time
+	samples []float64 // interarrival times in nanoseconds, ring once full
+	next    int       // ring write index once len(samples) == cap
+	sum     float64
+	sumSq   float64
+}
+
+func (m *phiMonitor) Observe(now time.Time) {
+	if !m.last.IsZero() && now.After(m.last) {
+		d := float64(now.Sub(m.last))
+		if len(m.samples) < cap(m.samples) {
+			m.samples = append(m.samples, d)
+		} else {
+			old := m.samples[m.next]
+			m.sum -= old
+			m.sumSq -= old * old
+			m.samples[m.next] = d
+			m.next = (m.next + 1) % len(m.samples)
+		}
+		m.sum += d
+		m.sumSq += d * d
+	}
+	if now.After(m.last) {
+		m.last = now
+	}
+}
+
+func (m *phiMonitor) Suspect(now time.Time) bool {
+	if m.last.IsZero() {
+		return false
+	}
+	elapsed := now.Sub(m.last)
+	if len(m.samples) < 3 {
+		// Not enough history for a distribution; behave like a lenient
+		// fixed timeout until the window fills.
+		return elapsed > m.fallback
+	}
+	return m.Phi(now) >= m.threshold
+}
+
+// Phi returns the current suspicion level for the peer: the negative log of
+// the probability that a correct peer would be silent for the time elapsed
+// since its last heartbeat, under a normal fit of the observed interarrival
+// distribution.
+func (m *phiMonitor) Phi(now time.Time) float64 {
+	n := float64(len(m.samples))
+	mean := m.sum / n
+	variance := m.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+	if std < m.minStd {
+		std = m.minStd
+	}
+	elapsed := float64(now.Sub(m.last))
+	// P(interarrival > elapsed) under N(mean, std); erfc underflows to 0 for
+	// extreme silences, making phi +Inf — always above any threshold.
+	pLater := 0.5 * math.Erfc((elapsed-mean)/(std*math.Sqrt2))
+	if pLater <= 0 {
+		return math.Inf(1)
+	}
+	phi := -math.Log10(pLater)
+	if math.IsNaN(phi) {
+		return 0
+	}
+	return phi
+}

@@ -27,7 +27,9 @@ import (
 
 // View is one node's perception of the reachable group.
 type View struct {
-	// Epoch is the topology epoch at which the view was installed.
+	// Epoch is the source epoch at which the view was installed: the
+	// topology epoch under the oracle source, or the detector's own view
+	// epoch under detector-driven membership.
 	Epoch int64
 	// Members are the reachable nodes (including the owner), sorted.
 	Members []transport.NodeID
@@ -67,18 +69,39 @@ func (v View) String() string {
 // Listener is notified when a node's view changes.
 type Listener func(old, new View)
 
-// Membership is the GMS. It watches the network for topology changes and
-// maintains one view per node.
+// ViewSource supplies one node's locally-derived membership views. The
+// default topology oracle bypasses this interface — it computes every
+// node's view from the simulated topology in one pass, instantly and
+// perfectly — whereas a message-driven failure detector (detect.Detector)
+// implements it for its own node: views then lag topology changes by real
+// detection latency, may disagree between nodes, and can be wrong under
+// lossy links. Sources are attached with WithDetector or AttachSource.
+type ViewSource interface {
+	// Self names the node whose views this source produces.
+	Self() transport.NodeID
+	// Current returns the source's current view epoch and members.
+	Current() (epoch int64, members []transport.NodeID)
+	// OnChange registers fn to run after every view change.
+	OnChange(fn func(epoch int64, members []transport.NodeID))
+}
+
+// Membership is the GMS. It maintains one view per node, fed either by the
+// topology oracle (default: views recomputed from the simulated network on
+// every topology change) or by per-node failure detectors (WithDetector).
 type Membership struct {
-	net *transport.Network
-	obs *obs.Observer
+	net    *transport.Network
+	obs    *obs.Observer
+	oracle bool
 
 	mu        sync.Mutex
+	known     []transport.NodeID // joined-node universe, snapshotted with views
 	weights   map[transport.NodeID]float64
 	views     map[transport.NodeID]View
 	listeners map[transport.NodeID][]Listener
 
 	viewChanges *obs.Counter
+
+	pending []ViewSource // sources passed to WithDetector, attached in NewMembership
 }
 
 // Option configures a Membership.
@@ -90,11 +113,24 @@ func WithObserver(o *obs.Observer) Option {
 	return func(m *Membership) { m.obs = o }
 }
 
+// WithDetector switches the membership service from the topology oracle to
+// detector-driven views: per-node views are only installed when that node's
+// failure detector publishes them, so degraded-mode entry and exit carry
+// real detection latency. Sources for nodes built later (the usual case —
+// detectors are per-node components) attach with AttachSource.
+func WithDetector(srcs ...ViewSource) Option {
+	return func(m *Membership) {
+		m.oracle = false
+		m.pending = append(m.pending, srcs...)
+	}
+}
+
 // NewMembership creates a membership service bound to the network. Node
 // weights default to 1; override them with SetWeight before partitioning.
 func NewMembership(net *transport.Network, opts ...Option) *Membership {
 	m := &Membership{
 		net:       net,
+		oracle:    true,
 		weights:   make(map[transport.NodeID]float64),
 		views:     make(map[transport.NodeID]View),
 		listeners: make(map[transport.NodeID][]Listener),
@@ -106,9 +142,43 @@ func NewMembership(net *transport.Network, opts ...Option) *Membership {
 		m.obs = net.Observer()
 	}
 	m.viewChanges = m.obs.Counter("group.view_changes")
-	net.Watch(m.refresh)
-	m.refresh(net.Epoch())
+	if m.oracle {
+		net.Watch(m.refresh)
+		m.refresh(net.Epoch())
+	} else {
+		// Detector mode still tracks the joined-node universe (Degraded and
+		// PartitionWeight compare views against all deployed nodes — joins
+		// are deployment actions, not failures, so this is not cheating).
+		net.Watch(func(int64) { m.syncKnown() })
+		m.syncKnown()
+		for _, src := range m.pending {
+			m.AttachSource(src)
+		}
+		m.pending = nil
+	}
 	return m
+}
+
+// DetectorDriven reports whether views come from failure detectors rather
+// than the topology oracle.
+func (m *Membership) DetectorDriven() bool { return !m.oracle }
+
+// AttachSource subscribes the membership service to a node's view source
+// (detector mode only) and installs the source's current view.
+func (m *Membership) AttachSource(src ViewSource) {
+	src.OnChange(func(epoch int64, members []transport.NodeID) {
+		m.install(src.Self(), epoch, members)
+	})
+	epoch, members := src.Current()
+	m.install(src.Self(), epoch, members)
+}
+
+// syncKnown refreshes the joined-node universe under the view lock.
+func (m *Membership) syncKnown() {
+	nodes := m.net.Nodes()
+	m.mu.Lock()
+	m.known = nodes
+	m.mu.Unlock()
 }
 
 // SetWeight assigns a weight to a node (Gifford-style weighted membership,
@@ -127,19 +197,24 @@ func (m *Membership) ViewOf(id transport.NodeID) View {
 }
 
 // Degraded reports whether a node perceives the system as degraded: its
-// view does not cover all joined nodes (§1.4's degraded mode).
+// view does not cover all joined nodes (§1.4's degraded mode). View and
+// node universe are read under one lock, so a concurrent Partition/Heal can
+// never pair a stale view with a fresh node list.
 func (m *Membership) Degraded(id transport.NodeID) bool {
-	total := len(m.net.Nodes())
-	return m.ViewOf(id).Size() < total
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.views[id].Size() < len(m.known)
 }
 
 // PartitionWeight returns the weight fraction of the node's current
-// partition relative to the whole system (§5.5.2). A healthy system yields 1.
+// partition relative to the whole system (§5.5.2). A healthy system yields
+// 1. Like Degraded, it computes both sides of the fraction from one
+// consistent snapshot.
 func (m *Membership) PartitionWeight(id transport.NodeID) float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var total, mine float64
-	for _, n := range m.net.Nodes() {
+	for _, n := range m.known {
 		total += m.weightLocked(n)
 	}
 	if total == 0 {
@@ -166,33 +241,62 @@ func (m *Membership) OnViewChange(id transport.NodeID, l Listener) {
 	m.listeners[id] = append(m.listeners[id], l)
 }
 
-func (m *Membership) refresh(epoch int64) {
-	type change struct {
-		listeners []Listener
-		old, new  View
+// change is one installed view update with its listener batch.
+type change struct {
+	listeners []Listener
+	old, new  View
+}
+
+// applyLocked installs one node's view and returns the listener batch to
+// run after the lock is released (nil when the membership is unchanged).
+// Callers hold m.mu.
+func (m *Membership) applyLocked(id transport.NodeID, nv View) *change {
+	ov := m.views[id]
+	if nv.Equal(ov) {
+		return nil
 	}
-	var changes []change
+	m.views[id] = nv
+	m.viewChanges.Inc()
+	if m.obs.Tracing() {
+		m.obs.Emit(obs.EventViewChange, fmt.Sprintf("%s: %v -> %v", id, ov.Members, nv.Members))
+	}
+	ls := make([]Listener, len(m.listeners[id]))
+	copy(ls, m.listeners[id])
+	return &change{listeners: ls, old: ov, new: nv}
+}
+
+// refresh recomputes every node's view from the topology oracle. All views
+// and the node universe are updated under one lock (a single consistent
+// snapshot); listeners run afterwards.
+func (m *Membership) refresh(epoch int64) {
+	var changes []*change
 	m.mu.Lock()
-	for _, id := range m.net.Nodes() {
+	m.known = m.net.Nodes()
+	for _, id := range m.known {
 		nv := View{Epoch: epoch, Members: m.net.ReachableFrom(id)}
-		ov := m.views[id]
-		if nv.Equal(ov) {
-			continue
+		if c := m.applyLocked(id, nv); c != nil {
+			changes = append(changes, c)
 		}
-		m.views[id] = nv
-		m.viewChanges.Inc()
-		if m.obs.Tracing() {
-			m.obs.Emit(obs.EventViewChange, fmt.Sprintf("%s: %v -> %v", id, ov.Members, nv.Members))
-		}
-		ls := make([]Listener, len(m.listeners[id]))
-		copy(ls, m.listeners[id])
-		changes = append(changes, change{listeners: ls, old: ov, new: nv})
 	}
 	m.mu.Unlock()
 	for _, c := range changes {
 		for _, l := range c.listeners {
 			l(c.old, c.new)
 		}
+	}
+}
+
+// install records one node's detector-derived view.
+func (m *Membership) install(id transport.NodeID, epoch int64, members []transport.NodeID) {
+	nv := View{Epoch: epoch, Members: append([]transport.NodeID(nil), members...)}
+	m.mu.Lock()
+	c := m.applyLocked(id, nv)
+	m.mu.Unlock()
+	if c == nil {
+		return
+	}
+	for _, l := range c.listeners {
+		l(c.old, c.new)
 	}
 }
 

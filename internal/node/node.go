@@ -14,6 +14,7 @@ import (
 
 	"dedisys/internal/constraint"
 	"dedisys/internal/core"
+	"dedisys/internal/detect"
 	"dedisys/internal/group"
 	"dedisys/internal/invocation"
 	"dedisys/internal/naming"
@@ -59,6 +60,10 @@ type Options struct {
 	DisableReplication bool
 	// LockTimeout bounds object lock acquisition.
 	LockTimeout time.Duration
+	// Detect, when non-nil, runs a heartbeat failure detector on the node
+	// and feeds its views into the membership service. The Membership must
+	// have been built with group.WithDetector (NewCluster arranges this).
+	Detect *detect.Config
 	// Obs is the shared observability scope; the node derives a per-node
 	// sub-scope from it ("<id>." metric prefix, node-stamped events). Nil
 	// observes into a private registry.
@@ -76,7 +81,8 @@ type Node struct {
 	Repl     *replication.Manager
 	CCM      *core.Manager
 	Naming   *naming.Service
-	Obs      *obs.Observer // per-node scope over the shared registry/tracer
+	Detector *detect.Detector // nil unless Options.Detect was set
+	Obs      *obs.Observer    // per-node scope over the shared registry/tracer
 
 	net   *transport.Network
 	gms   *group.Membership
@@ -250,7 +256,28 @@ func New(opts Options) (*Node, error) {
 	if err := opts.Net.Handle(opts.ID, msgInvoke, n.handleRemoteInvoke); err != nil {
 		return nil, fmt.Errorf("node %s: %w", opts.ID, err)
 	}
+
+	if opts.Detect != nil {
+		if !opts.GMS.DetectorDriven() {
+			return nil, fmt.Errorf("node %s: Detect set but membership is oracle-driven (build it with group.WithDetector)", opts.ID)
+		}
+		d, err := detect.New(opts.Net, opts.ID, *opts.Detect, detect.WithObserver(scoped))
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+		}
+		n.Detector = d
+		d.Start()
+		opts.GMS.AttachSource(d)
+	}
 	return n, nil
+}
+
+// Stop shuts down the node's background services (currently the failure
+// detector); safe on nodes without one.
+func (n *Node) Stop() {
+	if n.Detector != nil {
+		n.Detector.Stop()
+	}
 }
 
 // dispatch is the terminal interceptor: it executes the business method on
@@ -577,7 +604,13 @@ func NewCluster(size int, netOpts []transport.Option, opts ...ClusterOption) (*C
 			return nil, err
 		}
 	}
-	gms := group.NewMembership(net)
+	var gmsOpts []group.Option
+	if probe.Detect != nil {
+		// Detector-driven membership: views come from each node's failure
+		// detector rather than the topology oracle.
+		gmsOpts = append(gmsOpts, group.WithDetector())
+	}
+	gms := group.NewMembership(net, gmsOpts...)
 	c := &Cluster{Net: net, GMS: gms, Obs: base, byID: make(map[transport.NodeID]*Node, size)}
 	for _, id := range ids {
 		o := Options{ID: id, Net: net, GMS: gms}
@@ -622,3 +655,12 @@ func (c *Cluster) Partition(groups ...[]transport.NodeID) { c.Net.Partition(grou
 
 // Heal repairs all partitions.
 func (c *Cluster) Heal() { c.Net.Heal() }
+
+// Stop shuts down background services on every node. Clusters running
+// failure detectors must be stopped when the scenario ends; oracle-driven
+// clusters tolerate it as a no-op.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}

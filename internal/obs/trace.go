@@ -39,6 +39,12 @@ const (
 	EventLockTimeout EventType = "lock-timeout"
 	// EventReplicaConflict records a resolved write-write replica conflict.
 	EventReplicaConflict EventType = "replica-conflict"
+	// EventSuspicion records a failure detector starting to suspect a peer
+	// (heartbeat silence exceeded the suspicion policy's tolerance).
+	EventSuspicion EventType = "suspicion"
+	// EventRejoin records a failure detector re-admitting a previously
+	// suspected peer after its heartbeats resumed.
+	EventRejoin EventType = "rejoin"
 )
 
 // Event is one structured trace record.

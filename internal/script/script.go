@@ -7,7 +7,10 @@
 //
 // Script language (one command per line, '#' starts a comment):
 //
-//	cluster N [p4|primary-backup|primary-partition|adaptive-voting]
+//	cluster N [p4|primary-backup|primary-partition|adaptive-voting] [detector[=fixed|phi]]
+//	    detector runs heartbeat failure detection instead of the topology
+//	    oracle: views lag real failures and scripts must 'sleep' or 'await'
+//	    before asserting on modes
 //	constraint NAME TYPE PRIORITY MINDEGREE EXPR...
 //	    TYPE: PRE POST HARD SOFT ASYNC; PRIORITY: CRITICAL RELAXABLE;
 //	    MINDEGREE: a satisfaction degree; EXPR: declarative expression over
@@ -22,6 +25,10 @@
 //	heal                            repair all partitions
 //	crash NODE / recover NODE       node failure and recovery
 //	reconcile NODE [PEER ...]       run reconciliation (default: all others)
+//	sleep DURATION                  wait (e.g. 50ms; lets detectors observe)
+//	await NODE healthy|degraded [TIMEOUT]
+//	    poll until the node reaches the mode (default timeout 2s)
+//	metric PREFIX                   print metrics whose name contains PREFIX
 //	echo TEXT...                    print
 package script
 
@@ -31,11 +38,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"dedisys/internal/constraint"
 	"dedisys/internal/core"
+	"dedisys/internal/detect"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
 	"dedisys/internal/obs"
@@ -84,6 +94,10 @@ type Engine struct {
 	// Obs, when set before Run, is shared by the cluster the script builds;
 	// callers dump its registry and trace after the run (--metrics/--trace).
 	Obs *obs.Observer
+	// Detect, when set before Run, makes 'cluster' build detector-driven
+	// membership with this configuration even without a 'detector' token
+	// (the CLI's -detector/-heartbeat-interval/-suspect-timeout flags).
+	Detect *detect.Config
 
 	cluster     *node.Cluster
 	constraints []constraint.Configured
@@ -100,6 +114,11 @@ func (e *Engine) Run(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if e.cluster != nil {
+			e.cluster.Stop()
+		}
+	}()
 	for _, cmd := range cmds {
 		if err := e.exec(cmd); err != nil {
 			return fmt.Errorf("line %d (%s): %w", cmd.Line, cmd.Op, err)
@@ -148,6 +167,12 @@ func (e *Engine) exec(cmd Command) error {
 		return nil
 	case "reconcile":
 		return e.cmdReconcile(cmd.Args)
+	case "sleep":
+		return e.cmdSleep(cmd.Args)
+	case "await":
+		return e.cmdAwait(cmd.Args)
+	case "metric":
+		return e.cmdMetric(cmd.Args)
 	case "echo":
 		fmt.Fprintln(e.Out, strings.Join(cmd.Args, " "))
 		return nil
@@ -186,18 +211,30 @@ func (e *Engine) cmdCluster(args []string) error {
 		return fmt.Errorf("invalid cluster size %q", args[0])
 	}
 	proto := replication.Protocol(replication.PrimaryPerPartition{})
-	if len(args) > 1 {
-		switch args[1] {
-		case "p4":
+	detectCfg := e.Detect
+	for _, a := range args[1:] {
+		switch {
+		case a == "p4":
 			proto = replication.PrimaryPerPartition{}
-		case "primary-backup":
+		case a == "primary-backup":
 			proto = replication.PrimaryBackup{}
-		case "primary-partition":
+		case a == "primary-partition":
 			proto = replication.PrimaryPartition{}
-		case "adaptive-voting":
+		case a == "adaptive-voting":
 			proto = replication.AdaptiveVoting{}
+		case a == "detector" || a == "detector=fixed":
+			if detectCfg == nil {
+				detectCfg = &detect.Config{}
+			}
+		case a == "detector=phi":
+			if detectCfg == nil {
+				detectCfg = &detect.Config{}
+			}
+			cfg := *detectCfg
+			cfg.Policy = detect.PhiAccrual{}
+			detectCfg = &cfg
 		default:
-			return fmt.Errorf("unknown protocol %q", args[1])
+			return fmt.Errorf("unknown cluster option %q", a)
 		}
 	}
 	c, err := node.NewCluster(size, nil, func(o *node.Options) {
@@ -205,6 +242,7 @@ func (e *Engine) cmdCluster(args []string) error {
 		o.Protocol = proto
 		o.ThreatPolicy = threat.IdenticalOnce
 		o.Obs = e.Obs
+		o.Detect = detectCfg
 	})
 	if err != nil {
 		return err
@@ -230,7 +268,13 @@ func (e *Engine) cmdCluster(args []string) error {
 		}
 	}
 	e.cluster = c
-	fmt.Fprintf(e.Out, "cluster of %d nodes (%s)\n", size, proto.Name())
+	if detectCfg != nil {
+		d := c.Node(0).Detector
+		fmt.Fprintf(e.Out, "cluster of %d nodes (%s, %s detector, interval %s)\n",
+			size, proto.Name(), d.Policy().Name(), d.Interval())
+	} else {
+		fmt.Fprintf(e.Out, "cluster of %d nodes (%s)\n", size, proto.Name())
+	}
 	return nil
 }
 
@@ -376,19 +420,12 @@ func (e *Engine) cmdMode(args []string) error {
 	if err != nil {
 		return err
 	}
-	want := args[1]
-	got := n.Mode()
-	var match bool
-	switch want {
-	case "healthy":
-		match = got == core.Healthy
-	case "degraded":
-		match = got == core.Degraded
-	default:
-		return fmt.Errorf("unknown mode %q", want)
+	want, err := parseMode(args[1])
+	if err != nil {
+		return err
 	}
-	if !match {
-		return fmt.Errorf("%w: node %s mode = %s, want %s", ErrAssertion, args[0], got, want)
+	if got := n.Mode(); got != want {
+		return fmt.Errorf("%w: node %s mode = %s, want %s", ErrAssertion, args[0], got, args[1])
 	}
 	return nil
 }
@@ -442,5 +479,90 @@ func (e *Engine) cmdReconcile(args []string) error {
 	fmt.Fprintf(e.Out, "reconciled: %d pushed, %d adopted, %d conflicts, %d threats removed, %d deferred\n",
 		report.Replica.Pushed, report.Replica.Adopted, report.Replica.Conflicts,
 		report.Constraint.Removed, report.Constraint.Deferred)
+	return nil
+}
+
+func (e *Engine) cmdSleep(args []string) error {
+	if len(args) != 1 {
+		return errors.New("sleep expects DURATION (e.g. 50ms)")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil || d < 0 {
+		return fmt.Errorf("invalid duration %q", args[0])
+	}
+	time.Sleep(d)
+	return nil
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "healthy":
+		return core.Healthy, nil
+	case "degraded":
+		return core.Degraded, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+// cmdAwait polls a node until it reaches the wanted mode, absorbing the
+// nondeterministic detection/rejoin lag of detector-driven membership.
+func (e *Engine) cmdAwait(args []string) error {
+	if len(args) != 2 && len(args) != 3 {
+		return errors.New("await expects NODE healthy|degraded [TIMEOUT]")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	want, err := parseMode(args[1])
+	if err != nil {
+		return err
+	}
+	timeout := 2 * time.Second
+	if len(args) == 3 {
+		timeout, err = time.ParseDuration(args[2])
+		if err != nil || timeout <= 0 {
+			return fmt.Errorf("invalid timeout %q", args[2])
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if n.Mode() == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: node %s mode = %s after %s, want %s",
+				ErrAssertion, args[0], n.Mode(), timeout, args[1])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// cmdMetric prints every counter and histogram whose name contains the given
+// substring, e.g. 'metric detect.' after a partition/heal cycle.
+func (e *Engine) cmdMetric(args []string) error {
+	if len(args) != 1 {
+		return errors.New("metric expects PREFIX")
+	}
+	if err := e.needCluster(); err != nil {
+		return err
+	}
+	snap := e.cluster.Obs.Snapshot()
+	var lines []string
+	for name, v := range snap.Counters {
+		if strings.Contains(name, args[0]) {
+			lines = append(lines, fmt.Sprintf("%s = %d", name, v))
+		}
+	}
+	for name, h := range snap.Histograms {
+		if strings.Contains(name, args[0]) && h.Count > 0 {
+			lines = append(lines, fmt.Sprintf("%s: count=%d mean=%s", name, h.Count, h.Sum/time.Duration(h.Count)))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Fprintln(e.Out, l)
+	}
 	return nil
 }

@@ -162,3 +162,43 @@ func TestProtocolSelection(t *testing.T) {
 		}
 	}
 }
+
+// The detector cluster token switches membership to heartbeat-driven views:
+// right after a partition the mode is still healthy (views lag), and await
+// absorbs the detection latency before asserting degraded.
+const detectorStory = `
+cluster 2 detector
+mode n1 healthy
+partition n1 | n2
+mode n1 healthy
+await n1 degraded 5s
+heal
+await n1 healthy 5s
+metric detect.suspicions
+echo detector scenario complete
+`
+
+func TestDetectorScript(t *testing.T) {
+	out, err := runScript(t, detectorStory)
+	if err != nil {
+		t.Fatalf("script failed: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "detector scenario complete") {
+		t.Fatalf("output = %s", out)
+	}
+	if !strings.Contains(out, "detect.suspicions") {
+		t.Fatalf("metric command printed nothing:\n%s", out)
+	}
+}
+
+func TestSleepAndAwaitErrors(t *testing.T) {
+	if _, err := runScript(t, "cluster 1\nsleep nonsense\n"); err == nil {
+		t.Fatal("bad sleep duration accepted")
+	}
+	if _, err := runScript(t, "cluster 2 detector\nawait n1 degraded 20ms\n"); !errors.Is(err, ErrAssertion) {
+		t.Fatalf("await on a healthy cluster should time out with ErrAssertion, got %v", err)
+	}
+	if _, err := runScript(t, "cluster 1\nawait n1 bogus\n"); err == nil {
+		t.Fatal("bad await mode accepted")
+	}
+}

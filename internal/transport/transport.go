@@ -294,6 +294,15 @@ func (n *Network) Connected(a, b NodeID) bool {
 	return n.connectedLocked(a, b)
 }
 
+// Reachable reports whether to is currently reachable from from: the
+// single-peer fast path of ReachableFrom. Callers asking about one peer (the
+// failure detector's per-heartbeat ground-truth check, protocol-level "can I
+// reach the coordinator" probes) avoid building and sorting the full view
+// slice — one map lookup instead of an O(nodes log nodes) allocation.
+func (n *Network) Reachable(from, to NodeID) bool {
+	return n.Connected(from, to)
+}
+
 func (n *Network) connectedLocked(a, b NodeID) bool {
 	if a == b {
 		epA, okA := n.nodes[a]

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -427,4 +428,54 @@ func TestConcurrentSends(t *testing.T) {
 		n.Heal()
 	}
 	wg.Wait()
+}
+
+func TestReachableMatchesReachableFrom(t *testing.T) {
+	n := newThreeNodeNet(t)
+	n.Partition([]NodeID{"n1", "n2"}, []NodeID{"n3"})
+	n.Crash("n2")
+	for _, from := range n.Nodes() {
+		in := make(map[NodeID]bool)
+		for _, id := range n.ReachableFrom(from) {
+			in[id] = true
+		}
+		for _, to := range n.Nodes() {
+			if got := n.Reachable(from, to); got != in[to] {
+				t.Fatalf("Reachable(%s,%s) = %t, ReachableFrom says %t", from, to, got, in[to])
+			}
+		}
+	}
+}
+
+// The failure detector asks about one peer per heartbeat; Reachable avoids
+// materialising the full reachable set the way ReachableFrom does.
+func BenchmarkReachable(b *testing.B) {
+	n := newBenchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Reachable("n1", "n16")
+	}
+}
+
+func BenchmarkReachableFromSingle(b *testing.B) {
+	n := newBenchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range n.ReachableFrom("n1") {
+			if id == "n16" {
+				break
+			}
+		}
+	}
+}
+
+func newBenchNet(b *testing.B) *Network {
+	b.Helper()
+	n := NewNetwork()
+	for i := 1; i <= 16; i++ {
+		if err := n.Join(NodeID(fmt.Sprintf("n%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return n
 }
