@@ -38,6 +38,7 @@ func run(args []string) error {
 		storeCost      = fs.Duration("storecost", -1, "simulated per-write database cost (default 80µs)")
 		hbInterval     = fs.Duration("heartbeat-interval", 0, "exp-detect: failure detector heartbeat period (default 5ms)")
 		suspectTimeout = fs.Duration("suspect-timeout", 0, "exp-detect: fixed-timeout silence tolerance (default 5 intervals)")
+		batchProp      = fs.Bool("batch-propagation", true, "batch commit propagation into one multicast round per transaction (false: one round per object)")
 
 		csvDir  = fs.String("csv", "", "also write each result as CSV into this directory")
 		metrics = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
@@ -77,6 +78,7 @@ func run(args []string) error {
 	if *suspectTimeout > 0 {
 		cfg.SuspectTimeout = *suspectTimeout
 	}
+	cfg.SequentialPropagation = !*batchProp
 	var observer *obs.Observer
 	if *metrics || *trace {
 		observer = obs.New()

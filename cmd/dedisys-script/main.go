@@ -61,6 +61,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	detector := fs.String("detector", "", "drive membership from heartbeat failure detection: fixed or phi")
 	hbInterval := fs.Duration("heartbeat-interval", 0, "failure detector heartbeat period (default 10ms)")
 	suspectTimeout := fs.Duration("suspect-timeout", 0, "silence tolerance before suspecting a peer (default 5 intervals)")
+	batchProp := fs.Bool("batch-propagation", true, "batch commit propagation into one multicast round per transaction (false: one round per object)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +87,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	eng := script.New(stdout)
 	eng.Detect = detectCfg
+	eng.SequentialPropagation = !*batchProp
 	if *metrics || *trace {
 		eng.Obs = obs.New()
 		eng.Obs.Tracer().SetEnabled(*trace)

@@ -39,6 +39,7 @@ func runAblProtocols(cfg Config) (*Result, error) {
 			o.Protocol = proto
 			o.ThreatPolicy = threat.IdenticalOnce
 			o.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
+			o.SequentialPropagation = cfg.SequentialPropagation
 			o.Obs = cfg.Obs
 		})
 		if err != nil {
@@ -102,6 +103,7 @@ func runAblIntra(cfg Config) (*Result, error) {
 			o.RepoCache = true
 			o.ThreatPolicy = threat.FullHistory
 			o.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
+			o.SequentialPropagation = cfg.SequentialPropagation
 			o.Obs = cfg.Obs
 		})
 		if err != nil {

@@ -34,6 +34,9 @@ type Config struct {
 	// SuspectTimeout is the fixed-timeout silence tolerance for the detector
 	// experiment (0 uses the detector default of 5 intervals).
 	SuspectTimeout time.Duration
+	// SequentialPropagation disables transaction-batched commit propagation
+	// in every cluster the experiments build (-batch-propagation=false).
+	SequentialPropagation bool
 	// Obs, when set, is shared by every cluster the experiments build so one
 	// registry/trace dump covers the whole run (--metrics/--trace).
 	Obs *obs.Observer
@@ -208,6 +211,7 @@ func Registry() []Experiment {
 		{ID: "abl-protocols", Title: "Ablation: replica-control protocols", Run: runAblProtocols},
 		{ID: "abl-intra", Title: "Ablation: intra-object constraint classification (§3.1)", Run: runAblIntra},
 		{ID: "abl-repocache", Title: "Ablation: constraint repository cache in the middleware", Run: runAblRepoCache},
+		{ID: "exp-batch", Title: "Commit fan-out: batched vs per-object propagation (K dirty objects)", Run: runCommitFanOut},
 	}
 }
 

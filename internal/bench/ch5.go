@@ -92,6 +92,7 @@ func newBenchCluster(cfg Config, o clusterOpts, threatType constraint.Type) (*no
 		opt.KeepHistory = o.keepHistory
 		opt.ThreatPolicy = o.threatPolicy
 		opt.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
+		opt.SequentialPropagation = cfg.SequentialPropagation
 		opt.Obs = cfg.Obs
 		if o.lockTimeout > 0 {
 			opt.LockTimeout = o.lockTimeout

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dedisys/internal/constraint"
+	"dedisys/internal/node"
+	"dedisys/internal/object"
+	"dedisys/internal/obs"
+)
+
+// Commit fan-out experiment: a transaction that dirtied K objects pays K
+// multicast rounds of simulated network time with per-object propagation,
+// but only one round when the commit ships a single batch per destination.
+// This experiment measures both modes over the same workload and reports
+// the wall-clock per commit, the commit-time multicast rounds (the
+// deterministic cost-model view, independent of host jitter) and the
+// resulting speedup.
+
+// fanOutID names the i-th object of the fan-out workload.
+func fanOutID(i int) object.ID { return object.ID(fmt.Sprintf("fan%04d", i)) }
+
+// newFanOutCluster builds a size-node cluster (CCM off: pure replication
+// cost) with k objects replicated on every node, writable from node 0.
+func newFanOutCluster(cfg Config, size, k int) (*node.Cluster, *node.Node, []object.ID, error) {
+	c, err := newBenchCluster(cfg, clusterOpts{size: size, disableCCM: true}, constraint.HardInvariant)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := c.Node(0)
+	info := c.AllReplicas(n.ID)
+	ids := make([]object.ID, k)
+	for i := range ids {
+		ids[i] = fanOutID(i)
+		if err := n.Create(beanClass, ids[i], object.State{"value": int64(0)}, info); err != nil {
+			c.Stop()
+			return nil, nil, nil, fmt.Errorf("create %s: %w", ids[i], err)
+		}
+	}
+	return c, n, ids, nil
+}
+
+// fanOutCommit runs one transaction writing every object and returns the
+// wall-clock duration of the commit alone (the propagation phase).
+func fanOutCommit(n *node.Node, ids []object.ID, round int) (time.Duration, error) {
+	t := n.Begin()
+	for _, id := range ids {
+		if _, err := n.InvokeTx(t, id, "SetValue", int64(round)); err != nil {
+			_ = t.Rollback()
+			return 0, fmt.Errorf("invoke %s: %w", id, err)
+		}
+	}
+	start := time.Now()
+	if err := t.Commit(); err != nil {
+		return 0, fmt.Errorf("commit: %w", err)
+	}
+	return time.Since(start), nil
+}
+
+// fanOutMeasurement is one mode's aggregate over iters commits.
+type fanOutMeasurement struct {
+	PerCommit time.Duration // mean wall-clock per commit
+	Rounds    int64         // commit-time multicast rounds over all commits
+	BatchSize int64         // total ops shipped through batch rounds
+}
+
+// measureCommitFanOut times iters commits of k dirty objects on a size-node
+// cluster in the given propagation mode. The rounds count comes from the
+// replication.batch.rounds counters and is deterministic: sequential mode
+// pays k rounds per commit, batched mode pays one.
+func measureCommitFanOut(cfg Config, size, k, iters int, sequential bool) (fanOutMeasurement, error) {
+	var m fanOutMeasurement
+	cfg.SequentialPropagation = sequential
+	// A private observer isolates the round counters from other experiments
+	// sharing cfg.Obs.
+	cfg.Obs = obs.New()
+	c, n, ids, err := newFanOutCluster(cfg, size, k)
+	if err != nil {
+		return m, err
+	}
+	defer c.Stop()
+
+	roundsBefore := sumCounters(cfg.Obs, ".replication.batch.rounds")
+	sizeBefore := sumCounters(cfg.Obs, ".replication.batch.size")
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		d, err := fanOutCommit(n, ids, i)
+		if err != nil {
+			return m, err
+		}
+		total += d
+	}
+	m.PerCommit = total / time.Duration(iters)
+	m.Rounds = sumCounters(cfg.Obs, ".replication.batch.rounds") - roundsBefore
+	m.BatchSize = sumCounters(cfg.Obs, ".replication.batch.size") - sizeBefore
+	return m, nil
+}
+
+// sumCounters totals every per-node counter with the given name suffix.
+func sumCounters(o *obs.Observer, suffix string) int64 {
+	var total int64
+	for name, v := range o.Snapshot().Counters {
+		if strings.HasSuffix(name, suffix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// runCommitFanOut regenerates the batched-vs-sequential commit propagation
+// comparison: one row per transaction size K on a 4-node cluster.
+func runCommitFanOut(cfg Config) (*Result, error) {
+	cfg = cfg.normalize()
+	const size = 4
+	res := &Result{ID: "exp-batch", Title: "commit fan-out: batched vs per-object propagation",
+		Columns: []string{"batched_us", "sequential_us", "speedup", "rounds_batched", "rounds_sequential"}}
+	iters := cfg.Runs
+	if iters < 2 {
+		iters = 2
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		batched, err := measureCommitFanOut(cfg, size, k, iters, false)
+		if err != nil {
+			return nil, fmt.Errorf("batched K=%d: %w", k, err)
+		}
+		sequential, err := measureCommitFanOut(cfg, size, k, iters, true)
+		if err != nil {
+			return nil, fmt.Errorf("sequential K=%d: %w", k, err)
+		}
+		speedup := 0.0
+		if batched.PerCommit > 0 {
+			speedup = float64(sequential.PerCommit) / float64(batched.PerCommit)
+		}
+		res.AddRow(fmt.Sprintf("K=%d dirty objects", k),
+			float64(batched.PerCommit.Nanoseconds())/1e3,
+			float64(sequential.PerCommit.Nanoseconds())/1e3,
+			speedup,
+			float64(batched.Rounds),
+			float64(sequential.Rounds))
+	}
+	res.AddNote("%d nodes, %d commits per case, simulated per-message cost %s", size, iters, cfg.NetCost)
+	res.AddNote("rounds are commit-time multicast rounds: sequential pays K per commit, batched pays 1")
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// BenchmarkCommitFanOut measures one K=8 commit on a 4-node cluster in both
+// propagation modes. The simulated per-message cost makes the round count
+// visible in ns/op: sequential pays K rounds, batched pays one.
+func BenchmarkCommitFanOut(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		sequential bool
+	}{
+		{"mode=batched", false},
+		{"mode=sequential", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := QuickConfig()
+			cfg.NetCost = 200 * time.Microsecond
+			cfg.SequentialPropagation = mode.sequential
+			c, n, ids, err := newFanOutCluster(cfg, 4, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fanOutCommit(n, ids, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCommitFanOutSpeedup is the CI gate for the batching optimisation at
+// K=8 dirty objects on a 4-node cluster. The primary assertion is on the
+// deterministic cost model — commit-time multicast rounds — so it cannot
+// flake; the wall-clock assertion uses a network cost large enough that
+// sleep-based simulated time dominates host jitter. When BENCH_COMMIT_JSON
+// names a file, the measurements are written there for the CI artifact.
+func TestCommitFanOutSpeedup(t *testing.T) {
+	const (
+		size  = 4
+		k     = 8
+		iters = 3
+	)
+	cfg := QuickConfig()
+	cfg.NetCost = 5 * time.Millisecond
+
+	batched, err := measureCommitFanOut(cfg, size, k, iters, false)
+	if err != nil {
+		t.Fatalf("batched: %v", err)
+	}
+	sequential, err := measureCommitFanOut(cfg, size, k, iters, true)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+
+	// Deterministic gate: batched must pay strictly fewer simulated rounds.
+	if batched.Rounds >= sequential.Rounds {
+		t.Fatalf("batched rounds %d >= sequential rounds %d", batched.Rounds, sequential.Rounds)
+	}
+	if batched.Rounds != iters {
+		t.Errorf("batched rounds = %d, want %d (one per commit)", batched.Rounds, iters)
+	}
+	if sequential.Rounds != k*iters {
+		t.Errorf("sequential rounds = %d, want %d (one per dirty object)", sequential.Rounds, k*iters)
+	}
+	if batched.BatchSize != k*iters {
+		t.Errorf("batched ops shipped = %d, want %d", batched.BatchSize, k*iters)
+	}
+
+	speedup := float64(sequential.PerCommit) / float64(batched.PerCommit)
+	if speedup < 4 {
+		t.Errorf("commit speedup = %.2fx, want >= 4x (batched %v, sequential %v)",
+			speedup, batched.PerCommit, sequential.PerCommit)
+	}
+
+	if path := os.Getenv("BENCH_COMMIT_JSON"); path != "" {
+		report := map[string]any{
+			"k":                 k,
+			"n":                 size,
+			"iters":             iters,
+			"batched_ns":        batched.PerCommit.Nanoseconds(),
+			"sequential_ns":     sequential.PerCommit.Nanoseconds(),
+			"speedup":           speedup,
+			"rounds_batched":    batched.Rounds,
+			"rounds_sequential": sequential.Rounds,
+			"benchfmt": []string{
+				fmt.Sprintf("BenchmarkCommitFanOut/mode=batched/K=%d 1 %d ns/op", k, batched.PerCommit.Nanoseconds()),
+				fmt.Sprintf("BenchmarkCommitFanOut/mode=sequential/K=%d 1 %d ns/op", k, sequential.PerCommit.Nanoseconds()),
+			},
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+}

@@ -359,6 +359,16 @@ type Result struct {
 // early: destinations not yet attempted report the context error without a
 // send; destinations in flight fail inside the transport.
 func (c *Comm) Multicast(ctx context.Context, from transport.NodeID, to []transport.NodeID, kind string, payload any) []Result {
+	return c.MulticastEach(ctx, from, to, kind, func(transport.NodeID) any { return payload })
+}
+
+// MulticastEach is Multicast with a per-destination payload: payloadFor is
+// called once per destination (possibly concurrently from the worker pool)
+// and its result is sent to that destination. The replication service uses
+// it to ship transaction batches that carry, per replica node, only the
+// operations whose objects that node hosts. Fan-out, ordering and
+// cancellation semantics are identical to Multicast.
+func (c *Comm) MulticastEach(ctx context.Context, from transport.NodeID, to []transport.NodeID, kind string, payloadFor func(transport.NodeID) any) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -374,7 +384,7 @@ func (c *Comm) Multicast(ctx context.Context, from transport.NodeID, to []transp
 	}
 	start := time.Now()
 	if len(dests) == 1 {
-		resp, err := c.net.Send(ctx, from, dests[0], kind, payload)
+		resp, err := c.net.Send(ctx, from, dests[0], kind, payloadFor(dests[0]))
 		results[0] = Result{Node: dests[0], Response: resp, Err: err}
 		c.duration.Observe(time.Since(start))
 		return results
@@ -408,7 +418,7 @@ func (c *Comm) Multicast(ctx context.Context, from transport.NodeID, to []transp
 					results[i] = Result{Node: dst, Err: fmt.Errorf("group: multicast to %s aborted: %w", dst, err)}
 					continue
 				}
-				resp, err := c.net.Send(ctx, from, dst, kind, payload)
+				resp, err := c.net.Send(ctx, from, dst, kind, payloadFor(dst))
 				results[i] = Result{Node: dst, Response: resp, Err: err}
 			}
 		}()

@@ -368,3 +368,65 @@ func TestLateJoinGetsView(t *testing.T) {
 		t.Fatalf("existing node view after join = %v", v)
 	}
 }
+
+// TestMulticastEachPerDestinationPayload checks that each destination
+// receives exactly the payload built for it, in deterministic result order,
+// for both the single-destination fast path and the pooled fan-out.
+func TestMulticastEachPerDestinationPayload(t *testing.T) {
+	net := transport.NewNetwork()
+	var dests []transport.NodeID
+	if err := net.Join("src"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	for i := 0; i < n; i++ {
+		id := transport.NodeID(fmt.Sprintf("d%d", i))
+		dests = append(dests, id)
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Handle(id, "k", func(from transport.NodeID, payload any) (any, error) {
+			return payload, nil // echo what arrived
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net, WithWorkers(n))
+	for _, width := range []int{1, n} {
+		results := comm.MulticastEach(context.Background(), "src", dests[:width], "k", func(dst transport.NodeID) any {
+			return "payload-for-" + string(dst)
+		})
+		if len(results) != width {
+			t.Fatalf("width %d: results = %d", width, len(results))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("width %d result %d err: %v", width, i, r.Err)
+			}
+			if r.Node != dests[i] {
+				t.Fatalf("width %d result %d node = %s, want %s", width, i, r.Node, dests[i])
+			}
+			if want := "payload-for-" + string(dests[i]); r.Response != want {
+				t.Fatalf("width %d result %d payload = %v, want %s", width, i, r.Response, want)
+			}
+		}
+	}
+}
+
+// TestMulticastEachExcludesSender mirrors the Multicast self-exclusion rule.
+func TestMulticastEachExcludesSender(t *testing.T) {
+	net, _ := threeNodes(t)
+	if err := net.Handle("n2", "k", func(transport.NodeID, any) (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+	comm := NewComm(net)
+	results := comm.MulticastEach(context.Background(), "n1", []transport.NodeID{"n1", "n2"}, "k", func(dst transport.NodeID) any {
+		if dst == "n1" {
+			t.Error("payloadFor called for the sender")
+		}
+		return nil
+	})
+	if len(results) != 1 || results[0].Node != "n2" || results[0].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+}

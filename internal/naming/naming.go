@@ -149,6 +149,40 @@ func (s *Service) SyncWith(ctx context.Context, peer transport.NodeID) error {
 	if err != nil {
 		return fmt.Errorf("naming: sync with %s: %w", peer, err)
 	}
+	return s.mergeResponse(resp)
+}
+
+// SyncResult is the per-peer outcome of one SyncAll pass.
+type SyncResult struct {
+	Peer transport.NodeID
+	Err  error // nil when the peer's bindings were merged
+}
+
+// SyncAll pulls bindings from every peer concurrently through the group
+// communication worker pool and merges the responses in peer order, so the
+// merged result is deterministic regardless of response arrival. Unreachable
+// peers report their error in the result slice and are skipped (they
+// synchronise on a later pass); the slice preserves the Multicast
+// destination order.
+func (s *Service) SyncAll(ctx context.Context, peers []transport.NodeID) []SyncResult {
+	results := s.comm.Multicast(ctx, s.self, peers, msgPull, nil)
+	out := make([]SyncResult, len(results))
+	for i, res := range results {
+		sr := SyncResult{Peer: res.Node, Err: res.Err}
+		if sr.Err == nil {
+			sr.Err = s.mergeResponse(res.Response)
+		}
+		if sr.Err != nil {
+			sr.Err = fmt.Errorf("naming: sync with %s: %w", res.Node, sr.Err)
+		}
+		out[i] = sr
+	}
+	return out
+}
+
+// mergeResponse folds one peer's pulled binding table into the local one
+// (newer epochs win, tombstones included).
+func (s *Service) mergeResponse(resp any) error {
 	remote, ok := resp.(map[string]binding)
 	if !ok {
 		return fmt.Errorf("naming: bad pull response %T", resp)

@@ -145,3 +145,86 @@ func TestSyncUnreachablePeer(t *testing.T) {
 		t.Fatal("sync across partition should fail")
 	}
 }
+
+// TestSyncAllMergesAllPeers checks that a single SyncAll pass pulls every
+// peer's bindings concurrently and merges them deterministically.
+func TestSyncAllMergesAllPeers(t *testing.T) {
+	net := transport.NewNetwork()
+	ids := []transport.NodeID{"n1", "n2", "n3"}
+	for _, id := range ids {
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gms := group.NewMembership(net)
+	services := make(map[transport.NodeID]*Service, len(ids))
+	for _, id := range ids {
+		s, err := New(id, net, gms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		services[id] = s
+	}
+	net.Partition([]transport.NodeID{"n1"}, []transport.NodeID{"n2"}, []transport.NodeID{"n3"})
+	if err := services["n2"].Bind("p/b", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := services["n3"].Bind("p/c", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	net.Heal()
+	results := services["n1"].SyncAll(context.Background(), []transport.NodeID{"n2", "n3"})
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, sr := range results {
+		if sr.Err != nil {
+			t.Fatalf("peer %s: %v", sr.Peer, sr.Err)
+		}
+	}
+	for name, want := range map[string]string{"p/b": "b1", "p/c": "c1"} {
+		id, err := services["n1"].Lookup(name)
+		if err != nil || string(id) != want {
+			t.Fatalf("%s = %s, %v", name, id, err)
+		}
+	}
+}
+
+// TestSyncAllReportsUnreachablePeers checks the per-peer error reporting:
+// the reachable peer merges, the unreachable one reports its error and the
+// pass as a whole still succeeds.
+func TestSyncAllReportsUnreachablePeers(t *testing.T) {
+	net := transport.NewNetwork()
+	ids := []transport.NodeID{"n1", "n2", "n3"}
+	for _, id := range ids {
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gms := group.NewMembership(net)
+	services := make(map[transport.NodeID]*Service, len(ids))
+	for _, id := range ids {
+		s, err := New(id, net, gms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		services[id] = s
+	}
+	if err := services["n2"].Bind("x", "x1"); err != nil {
+		t.Fatal(err)
+	}
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+	results := services["n1"].SyncAll(context.Background(), []transport.NodeID{"n2", "n3"})
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Peer != "n2" || results[0].Err != nil {
+		t.Fatalf("reachable peer result = %+v", results[0])
+	}
+	if results[1].Peer != "n3" || results[1].Err == nil {
+		t.Fatalf("unreachable peer result = %+v", results[1])
+	}
+	if id, err := services["n1"].Lookup("x"); err != nil || id != "x1" {
+		t.Fatalf("reachable peer's binding not merged: %s, %v", id, err)
+	}
+}

@@ -15,6 +15,12 @@ import (
 	"dedisys/internal/transport"
 )
 
+// isCommitPropagation matches commit-time update propagation in either wire
+// format: per-object applies (sequential mode) or transaction batches.
+func isCommitPropagation(kind string) bool {
+	return kind == "repl.apply" || kind == "repl.batch"
+}
+
 func TestLostPropagationRepairedByReconciliation(t *testing.T) {
 	c, err := node.NewCluster(3, nil)
 	if err != nil {
@@ -28,11 +34,12 @@ func TestLostPropagationRepairedByReconciliation(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Drop exactly one replication apply towards n3.
+	// Drop exactly one commit propagation towards n3 (batched commits ship
+	// updates as "repl.batch" messages).
 	var dropsLeft atomic.Int32
 	dropsLeft.Store(1)
 	c.Net.SetDrop(func(from, to transport.NodeID, kind string) bool {
-		if to == "n3" && kind == "repl.apply" && dropsLeft.Load() > 0 {
+		if to == "n3" && isCommitPropagation(kind) && dropsLeft.Load() > 0 {
 			dropsLeft.Add(-1)
 			return true
 		}
@@ -86,7 +93,7 @@ func TestLossyWritesNeverDivergeSilently(t *testing.T) {
 	}
 	var counter atomic.Int64
 	c.Net.SetDrop(func(from, to transport.NodeID, kind string) bool {
-		if kind != "repl.apply" {
+		if !isCommitPropagation(kind) {
 			return false
 		}
 		return counter.Add(1)%3 == 0

@@ -58,6 +58,10 @@ type Options struct {
 	DisableCCM bool
 	// DisableReplication runs the node without the replication service.
 	DisableReplication bool
+	// SequentialPropagation disables transaction-batched commit propagation
+	// and falls back to one multicast round per dirty object (the pre-batch
+	// behaviour, kept for A/B comparisons via -batch-propagation=false).
+	SequentialPropagation bool
 	// LockTimeout bounds object lock acquisition.
 	LockTimeout time.Duration
 	// Detect, when non-nil, runs a heartbeat failure detector on the node
@@ -212,6 +216,7 @@ func New(opts Options) (*Node, error) {
 			Store:       n.Store,
 			Protocol:    opts.Protocol,
 			KeepHistory: opts.KeepHistory,
+			Sequential:  opts.SequentialPropagation,
 			Obs:         scoped,
 		})
 		if err != nil {

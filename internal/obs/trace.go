@@ -45,6 +45,10 @@ const (
 	// EventRejoin records a failure detector re-admitting a previously
 	// suspected peer after its heartbeats resumed.
 	EventRejoin EventType = "rejoin"
+	// EventNamingSyncSkip records a naming-service binding sync that was
+	// skipped during reconciliation because the peer became unreachable
+	// again (it catches up on a later pass).
+	EventNamingSyncSkip EventType = "naming-sync-skip"
 )
 
 // Event is one structured trace record.

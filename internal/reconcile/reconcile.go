@@ -89,11 +89,16 @@ func Run(ctx context.Context, n *node.Node, peers []transport.NodeID, h Handlers
 		}
 	}
 	// Naming bindings created in other partitions are synchronised as part
-	// of the missed-update propagation.
+	// of the missed-update propagation. The pulls fan out concurrently over
+	// the peers; skipped peers (unreachable again) catch up on a later pass
+	// and are surfaced as events rather than silently dropped.
 	if n.Naming != nil {
-		for _, peer := range peers {
-			if err := n.Naming.SyncWith(ctx, peer); err != nil {
-				continue // peer unreachable again; next pass catches up
+		for _, sr := range n.Naming.SyncAll(ctx, peers) {
+			if sr.Err != nil {
+				n.Obs.Counter("reconcile.naming.skipped").Inc()
+				if n.Obs.Tracing() {
+					n.Obs.Emit(obs.EventNamingSyncSkip, fmt.Sprintf("peer %s: %v", sr.Peer, sr.Err))
+				}
 			}
 		}
 	}

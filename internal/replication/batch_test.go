@@ -1,0 +1,383 @@
+package replication
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"dedisys/internal/object"
+	"dedisys/internal/transport"
+)
+
+// sequentialMode puts a harness's managers in the seed's one-round-per-object
+// propagation mode.
+func sequentialMode(c *Config) { c.Sequential = true }
+
+// writeMany updates several objects inside one transaction on the
+// coordinator, in sorted object order.
+func (h *harness) writeMany(t *testing.T, coord transport.NodeID, attr string, vals map[object.ID]int64) {
+	t.Helper()
+	env := h.node(coord)
+	ids := make([]object.ID, 0, len(vals))
+	for id := range vals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	txn := env.txm.Begin()
+	for _, id := range ids {
+		e, err := env.reg.Get(id)
+		if err != nil {
+			_ = txn.Rollback()
+			t.Fatal(err)
+		}
+		txn.RecordUpdate(e)
+		e.Set(attr, vals[id])
+		env.mgr.MarkDirty(txn, id)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedCommitSingleRound is the tentpole's cost claim: a K-object
+// transaction pays one commit-time multicast round, not K, and every node
+// still converges on the new states.
+func TestBatchedCommitSingleRound(t *testing.T) {
+	h := newHarness(t, 4, PrimaryPerPartition{})
+	const k = 4
+	vals := make(map[object.ID]int64, k)
+	for i := 0; i < k; i++ {
+		id := object.ID(fmt.Sprintf("f%d", i))
+		h.create(t, "n1", "Flight", id, object.State{"sold": int64(0)})
+		vals[id] = int64(100 + i)
+	}
+	mgr := h.node("n1").mgr
+	rounds, size := mgr.batchRounds.Load(), mgr.batchSize.Load()
+	h.writeMany(t, "n1", "sold", vals)
+	if got := mgr.batchRounds.Load() - rounds; got != 1 {
+		t.Fatalf("commit rounds = %d, want 1", got)
+	}
+	if got := mgr.batchSize.Load() - size; got != k {
+		t.Fatalf("batched ops = %d, want %d", got, k)
+	}
+	for _, nid := range h.ids {
+		for id, want := range vals {
+			e, err := h.node(nid).reg.Get(id)
+			if err != nil {
+				t.Fatalf("node %s missing %s: %v", nid, id, err)
+			}
+			if e.GetInt("sold") != want {
+				t.Fatalf("node %s %s = %d, want %d", nid, id, e.GetInt("sold"), want)
+			}
+		}
+	}
+}
+
+// TestSequentialModeRoundsPerObject checks the A/B flag: Config.Sequential
+// reproduces the seed's one multicast round per dirty object with an
+// identical converged state.
+func TestSequentialModeRoundsPerObject(t *testing.T) {
+	h := newHarness(t, 3, PrimaryPerPartition{}, sequentialMode)
+	const k = 3
+	vals := make(map[object.ID]int64, k)
+	for i := 0; i < k; i++ {
+		id := object.ID(fmt.Sprintf("f%d", i))
+		h.create(t, "n1", "Flight", id, object.State{"sold": int64(0)})
+		vals[id] = int64(200 + i)
+	}
+	mgr := h.node("n1").mgr
+	rounds := mgr.batchRounds.Load()
+	h.writeMany(t, "n1", "sold", vals)
+	if got := mgr.batchRounds.Load() - rounds; got != k {
+		t.Fatalf("sequential commit rounds = %d, want %d", got, k)
+	}
+	for _, nid := range h.ids {
+		for id, want := range vals {
+			e, err := h.node(nid).reg.Get(id)
+			if err != nil || e.GetInt("sold") != want {
+				t.Fatalf("node %s %s = %v, %v (want %d)", nid, id, e, err, want)
+			}
+		}
+	}
+}
+
+// TestBatchedMixedOpsOneTransaction ships a create, an update and a delete
+// as one batch and expects every node to apply all three.
+func TestBatchedMixedOpsOneTransaction(t *testing.T) {
+	h := newHarness(t, 3, PrimaryPerPartition{})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(1)})
+	h.create(t, "n1", "Flight", "f2", object.State{"sold": int64(2)})
+
+	env := h.node("n1")
+	txn := env.txm.Begin()
+	// Create f9, update f1, delete f2 — all in one transaction.
+	if err := env.mgr.Create(txn, object.New("Flight", "f9", object.State{"sold": int64(9)}), Info{Home: "n1", Replicas: h.ids}); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := env.reg.Get("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn.RecordUpdate(e1)
+	e1.Set("sold", int64(11))
+	env.mgr.MarkDirty(txn, "f1")
+	if err := env.mgr.Delete(txn, "f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nid := range h.ids {
+		n := h.node(nid)
+		if e, err := n.reg.Get("f9"); err != nil || e.GetInt("sold") != 9 {
+			t.Fatalf("node %s create not applied: %v, %v", nid, e, err)
+		}
+		if e, err := n.reg.Get("f1"); err != nil || e.GetInt("sold") != 11 {
+			t.Fatalf("node %s update not applied: %v, %v", nid, e, err)
+		}
+		if n.reg.Has("f2") {
+			t.Fatalf("node %s delete not applied", nid)
+		}
+	}
+}
+
+// TestBatchMidCommitPartitionThenReconcile commits while a partition limits
+// delivery to a subset of the replicas: the reachable replica applies the
+// batch, the unreachable one stays on the old state with a dominated version
+// vector and P4-stale reads, and reconciliation after heal converges all
+// replicas.
+func TestBatchMidCommitPartitionThenReconcile(t *testing.T) {
+	h := newHarness(t, 3, PrimaryPerPartition{})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(70)})
+	h.net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+
+	h.write(t, "n1", "f1", "sold", int64(77))
+
+	// Subset delivery: n2 applied the batch, n3 did not.
+	if e, _ := h.node("n2").reg.Get("f1"); e.GetInt("sold") != 77 {
+		t.Fatalf("reachable replica = %d, want 77", e.GetInt("sold"))
+	}
+	if e, _ := h.node("n3").reg.Get("f1"); e.GetInt("sold") != 70 {
+		t.Fatalf("partitioned replica = %d, want 70", e.GetInt("sold"))
+	}
+	// Version vectors: the coordinator dominates the cut-off replica.
+	vv1, _ := h.node("n1").mgr.VersionVector("f1")
+	vv3, _ := h.node("n3").mgr.VersionVector("f1")
+	if cmp, ok := vv1.Compare(vv3); !ok || cmp != 1 {
+		t.Fatalf("coordinator vv %v vs partitioned vv %v: cmp=%d ok=%v", vv1, vv3, cmp, ok)
+	}
+	// P4 staleness semantics are unchanged by batching.
+	if _, st, err := h.node("n3").mgr.Lookup(context.Background(), "f1"); err != nil || !st.PossiblyStale {
+		t.Fatalf("partitioned read stale=%v err=%v, want stale", st.PossiblyStale, err)
+	}
+
+	h.net.Heal()
+	if _, err := h.node("n1").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n3"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, nid := range h.ids {
+		if e, _ := h.node(nid).reg.Get("f1"); e.GetInt("sold") != 77 {
+			t.Fatalf("node %s after heal = %d, want 77", nid, e.GetInt("sold"))
+		}
+	}
+	vv3, _ = h.node("n3").mgr.VersionVector("f1")
+	if cmp, ok := vv1.Compare(vv3); !ok || cmp != 0 {
+		t.Fatalf("vectors after reconcile: %v vs %v", vv1, vv3)
+	}
+}
+
+// TestBatchDuplicateDeliveryIdempotent redelivers an already-applied batch:
+// the applies are skipped by version-vector comparison, the create merges,
+// the delete re-tombstones — no state changes.
+func TestBatchDuplicateDeliveryIdempotent(t *testing.T) {
+	h := newHarness(t, 2, PrimaryPerPartition{})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(1)})
+	h.create(t, "n1", "Flight", "f2", object.State{"sold": int64(2)})
+	h.write(t, "n1", "f1", "sold", int64(5))
+
+	src := h.node("n1")
+	e1, _ := src.reg.Get("f1")
+	vv1, _ := src.mgr.VersionVector("f1")
+	vv2, _ := src.mgr.VersionVector("f2")
+	e2, _ := src.reg.Get("f2")
+	batch := batchMsg{Ops: []batchOp{
+		{Kind: msgCreate, Create: createMsg{ID: "f2", Class: "Flight", State: e2.Snapshot(), Version: e2.Version(), VV: vv2, Info: Info{Home: "n1", Replicas: h.ids}}},
+		{Kind: msgApply, Apply: applyMsg{ID: "f1", State: e1.Snapshot(), Version: e1.Version(), VV: vv1}},
+	}}
+
+	dst := h.node("n2").mgr
+	for round := 1; round <= 2; round++ {
+		resp, err := dst.handleBatch("n1", batch)
+		if err != nil {
+			t.Fatalf("delivery %d: %v", round, err)
+		}
+		if s, ok := resp.(string); !ok || !strings.HasPrefix(s, "ack") {
+			t.Fatalf("delivery %d response = %v", round, resp)
+		}
+		if e, _ := h.node("n2").reg.Get("f1"); e.GetInt("sold") != 5 || e.Version() != e1.Version() {
+			t.Fatalf("delivery %d state = %d v%d", round, e.GetInt("sold"), e.Version())
+		}
+		vvGot, _ := dst.VersionVector("f1")
+		if cmp, ok := vvGot.Compare(vv1); !ok || cmp != 0 {
+			t.Fatalf("delivery %d vv = %v, want %v", round, vvGot, vv1)
+		}
+	}
+
+	// A redelivered delete keeps the object tombstoned.
+	del := batchMsg{Ops: []batchOp{{Kind: msgDelete, Delete: deleteMsg{ID: "f2", VV: vv2}}}}
+	for round := 1; round <= 2; round++ {
+		if _, err := dst.handleBatch("n1", del); err != nil {
+			t.Fatalf("delete delivery %d: %v", round, err)
+		}
+		if h.node("n2").reg.Has("f2") {
+			t.Fatalf("delete delivery %d: replica resurrected", round)
+		}
+	}
+}
+
+// TestBatchUnknownApplySkipped delivers an apply for an object the receiver
+// never saw: the op is skipped (reconciliation catches up later), not an
+// error aborting the batch.
+func TestBatchUnknownApplySkipped(t *testing.T) {
+	h := newHarness(t, 2, PrimaryPerPartition{})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(1)})
+	e1, _ := h.node("n1").reg.Get("f1")
+	vv1, _ := h.node("n1").mgr.VersionVector("f1")
+	vv1.Bump("n1")
+	batch := batchMsg{Ops: []batchOp{
+		{Kind: msgApply, Apply: applyMsg{ID: "ghost", State: object.State{"sold": int64(9)}, Version: 9, VV: VersionVector{"n1": 9}}},
+		{Kind: msgApply, Apply: applyMsg{ID: "f1", State: object.State{"sold": int64(8)}, Version: e1.Version() + 1, VV: vv1}},
+	}}
+	resp, err := h.node("n2").mgr.handleBatch("n1", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "ack 1 applied 1 skipped" {
+		t.Fatalf("response = %v", resp)
+	}
+	if h.node("n2").reg.Has("ghost") {
+		t.Fatal("unknown object installed")
+	}
+	if e, _ := h.node("n2").reg.Get("f1"); e.GetInt("sold") != 8 {
+		t.Fatalf("known op not applied: %d", e.GetInt("sold"))
+	}
+}
+
+// TestBatchMalformedOpRejectedAtomically sends a batch whose second op has a
+// bogus kind: the whole message is rejected before any op mutates state.
+func TestBatchMalformedOpRejectedAtomically(t *testing.T) {
+	h := newHarness(t, 2, PrimaryPerPartition{})
+	batch := batchMsg{Ops: []batchOp{
+		{Kind: msgCreate, Create: createMsg{ID: "fx", Class: "Flight", State: object.State{"sold": int64(1)}, Version: 1, VV: VersionVector{"n1": 1}, Info: Info{Home: "n1", Replicas: h.ids}}},
+		{Kind: "repl.bogus"},
+	}}
+	if _, err := h.node("n2").mgr.handleBatch("n1", batch); err == nil {
+		t.Fatal("malformed batch accepted")
+	}
+	if h.node("n2").reg.Has("fx") {
+		t.Fatal("partial batch applied before rejection")
+	}
+	if _, err := h.node("n2").mgr.Info("fx"); err == nil {
+		t.Fatal("metadata installed for rejected batch")
+	}
+}
+
+// TestConcurrentBatchedCommits drives commits from several goroutines over
+// disjoint object sets (run with -race); all replicas must converge on each
+// goroutine's final value.
+func TestConcurrentBatchedCommits(t *testing.T) {
+	h := newHarness(t, 3, PrimaryPerPartition{})
+	const (
+		writers = 4
+		perG    = 2 // objects per goroutine
+		iters   = 5
+	)
+	oid := func(g, i int) object.ID { return object.ID(fmt.Sprintf("g%d-o%d", g, i)) }
+	for g := 0; g < writers; g++ {
+		for i := 0; i < perG; i++ {
+			h.create(t, "n1", "Flight", oid(g, i), object.State{"sold": int64(0)})
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 1; it <= iters; it++ {
+				env := h.node("n1")
+				txn := env.txm.Begin()
+				for i := 0; i < perG; i++ {
+					e, err := env.reg.Get(oid(g, i))
+					if err != nil {
+						_ = txn.Rollback()
+						errs[g] = err
+						return
+					}
+					txn.RecordUpdate(e)
+					e.Set("sold", int64(it))
+					env.mgr.MarkDirty(txn, oid(g, i))
+				}
+				if err := txn.Commit(); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", g, err)
+		}
+	}
+	for _, nid := range h.ids {
+		for g := 0; g < writers; g++ {
+			for i := 0; i < perG; i++ {
+				e, err := h.node(nid).reg.Get(oid(g, i))
+				if err != nil {
+					t.Fatalf("node %s missing %s: %v", nid, oid(g, i), err)
+				}
+				if e.GetInt("sold") != iters {
+					t.Fatalf("node %s %s = %d, want %d", nid, oid(g, i), e.GetInt("sold"), iters)
+				}
+			}
+		}
+	}
+}
+
+// TestPropagationErrorMetricCountsSendFailures checks the commit error
+// accounting satellite: a replica that the view still includes but the link
+// drops does not fail the commit, yet the lost send is counted in
+// replication.propagation_errors — in both propagation modes — and the
+// reachable replica still applies the update.
+func TestPropagationErrorMetricCountsSendFailures(t *testing.T) {
+	for _, sequential := range []bool{false, true} {
+		mods := []func(*Config){}
+		if sequential {
+			mods = append(mods, sequentialMode)
+		}
+		h := newHarness(t, 3, PrimaryPerPartition{}, mods...)
+		h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(0)})
+		// Lossy link to n3: the view keeps n3 as a destination, the send fails.
+		h.net.SetDrop(func(from, to transport.NodeID, kind string) bool { return to == "n3" })
+		mgr := h.node("n1").mgr
+		before := mgr.propErrors.Load()
+		if err := h.tryWrite("n1", "f1", "sold", int64(1)); err != nil {
+			t.Fatalf("sequential=%v: commit must tolerate lost sends: %v", sequential, err)
+		}
+		if got := mgr.propErrors.Load() - before; got != 1 {
+			t.Fatalf("sequential=%v: propagation_errors delta = %d, want 1", sequential, got)
+		}
+		if e, _ := h.node("n2").reg.Get("f1"); e.GetInt("sold") != 1 {
+			t.Fatalf("sequential=%v: reachable replica = %d, want 1", sequential, e.GetInt("sold"))
+		}
+		if e, _ := h.node("n3").reg.Get("f1"); e.GetInt("sold") != 0 {
+			t.Fatalf("sequential=%v: dropped replica = %d, want 0", sequential, e.GetInt("sold"))
+		}
+	}
+}

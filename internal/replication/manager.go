@@ -2,6 +2,7 @@ package replication
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +23,7 @@ const (
 	msgDelete = "repl.delete"
 	msgFetch  = "repl.fetch"
 	msgPull   = "repl.pull"
+	msgBatch  = "repl.batch"
 )
 
 // Persistence tables used by the replication service.
@@ -49,6 +51,35 @@ type applyMsg struct {
 type deleteMsg struct {
 	ID object.ID
 	VV VersionVector
+}
+
+// batchOp is one operation of a transaction batch; Kind selects which of the
+// embedded messages is meaningful.
+type batchOp struct {
+	Kind   string // msgCreate, msgApply or msgDelete
+	Create createMsg
+	Apply  applyMsg
+	Delete deleteMsg
+}
+
+// id returns the object the operation concerns.
+func (op batchOp) id() object.ID {
+	switch op.Kind {
+	case msgCreate:
+		return op.Create.ID
+	case msgApply:
+		return op.Apply.ID
+	default:
+		return op.Delete.ID
+	}
+}
+
+// batchMsg carries all of one transaction's replica operations relevant to a
+// single destination, in the transaction's deterministic change order. One
+// batchMsg per destination replaces the per-object multicast rounds of the
+// seed protocol: a K-object commit costs one multicast round instead of K.
+type batchMsg struct {
+	Ops []batchOp
 }
 
 type fetchReply struct {
@@ -86,6 +117,10 @@ type Config struct {
 	// KeepHistory records intermediate states during degraded mode for
 	// rollback-based reconciliation (§4.3). Costly; see Figure 5.6.
 	KeepHistory bool
+	// Sequential disables transaction-batched commit propagation and
+	// reproduces the seed behaviour: one multicast round per dirty object.
+	// Kept for A/B runs (-batch-propagation=false); batching is the default.
+	Sequential bool
 	// Obs is the shared observability scope; nil observes into a private
 	// registry.
 	Obs *obs.Observer
@@ -103,10 +138,15 @@ type Manager struct {
 	store       *persistence.Store
 	protocol    Protocol
 	keepHistory bool
+	sequential  bool
 	obs         *obs.Observer
 
 	propagations *obs.Counter
 	conflicts    *obs.Counter
+	batchSize    *obs.Counter // objects shipped through batched rounds
+	batchRounds  *obs.Counter // commit-time multicast rounds issued
+	propErrors   *obs.Counter // per-object/per-destination propagation failures
+	pullParallel *obs.Counter // reconciliation passes that pulled >1 peer concurrently
 
 	mu         sync.Mutex
 	meta       map[object.ID]*replicaState
@@ -146,6 +186,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		store:       cfg.Store,
 		protocol:    cfg.Protocol,
 		keepHistory: cfg.KeepHistory,
+		sequential:  cfg.Sequential,
 		obs:         cfg.Obs,
 		meta:        make(map[object.ID]*replicaState),
 		tombstones:  make(map[object.ID]VersionVector),
@@ -157,12 +198,17 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	m.propagations = m.obs.Counter("replication.propagations")
 	m.conflicts = m.obs.Counter("replication.conflicts")
+	m.batchSize = m.obs.Counter("replication.batch.size")
+	m.batchRounds = m.obs.Counter("replication.batch.rounds")
+	m.propErrors = m.obs.Counter("replication.propagation_errors")
+	m.pullParallel = m.obs.Counter("reconcile.pull.concurrent")
 	for kind, h := range map[string]transport.Handler{
 		msgCreate: m.handleCreate,
 		msgApply:  m.handleApply,
 		msgDelete: m.handleDelete,
 		msgFetch:  m.handleFetch,
 		msgPull:   m.handlePull,
+		msgBatch:  m.handleBatch,
 	} {
 		if err := cfg.Net.Handle(cfg.Self, kind, h); err != nil {
 			return nil, fmt.Errorf("replication: register %s: %w", kind, err)
@@ -454,7 +500,12 @@ func (m *Manager) Prepare(t *tx.Tx) error { return nil }
 
 // Commit implements tx.Resource: synchronous update propagation from the
 // coordinator to all reachable replicas, persistence of replica metadata,
-// and degraded-mode history recording.
+// and degraded-mode history recording. By default the transaction's whole
+// change set ships as one batch per destination in a single concurrent
+// multicast round; Config.Sequential restores the seed's one-round-per-object
+// behaviour for A/B comparison. Per-object preparation failures are joined
+// into the returned error and counted, together with per-destination send
+// failures, in replication.propagation_errors.
 func (m *Manager) Commit(t *tx.Tx) error {
 	m.mu.Lock()
 	ch, ok := m.dirty[t.ID()]
@@ -469,32 +520,164 @@ func (m *Manager) Commit(t *tx.Tx) error {
 	degraded := m.Degraded()
 	view := m.view()
 	m.propagations.Add(int64(len(ch.order)))
-	var firstErr error
+	if m.sequential {
+		return m.commitSequential(ctx, ch, view, degraded)
+	}
+	return m.commitBatched(ctx, ch, view, degraded)
+}
+
+// commitSequential is the seed propagation path: one multicast round per
+// dirty object, in change order.
+func (m *Manager) commitSequential(ctx context.Context, ch *txChanges, view group.View, degraded bool) error {
+	var errs []error
 	for _, id := range ch.order {
+		m.batchRounds.Inc()
 		var err error
-		switch {
-		case containsID(ch.deleted, id):
+		if _, isDelete := ch.deleted[id]; isDelete {
 			err = m.propagateDelete(ctx, id, view)
-		case hasCreate(ch.created, id):
-			err = m.propagateCreate(ctx, id, ch.created[id], view, degraded)
-		default:
+		} else if info, isCreate := ch.created[id]; isCreate {
+			err = m.propagateCreate(ctx, id, info, view, degraded)
+		} else {
 			err = m.propagateUpdate(ctx, id, view, degraded)
 		}
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			m.propErrors.Inc()
+			errs = append(errs, fmt.Errorf("%s: %w", id, err))
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
-func containsID(set map[object.ID]struct{}, id object.ID) bool {
-	_, ok := set[id]
-	return ok
+// commitBatched assembles the transaction's creates, updates and deletes
+// (in change order) into per-destination batches and ships them in a single
+// concurrent multicast round: a K-object commit costs ~1 simulated network
+// hop instead of ~K. Sender-side bookkeeping — version-vector bumps, replica
+// metadata persistence, degraded-mode history, estimator observation — is
+// identical to the per-object path; only the wire format changes.
+func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.View, degraded bool) error {
+	type stagedOp struct {
+		op    batchOp
+		dests []transport.NodeID
+	}
+	var staged []stagedOp
+	var errs []error
+	for _, id := range ch.order {
+		var (
+			op    batchOp
+			dests []transport.NodeID
+			ship  bool
+			err   error
+		)
+		if _, isDelete := ch.deleted[id]; isDelete {
+			op, dests, ship = m.stageDelete(id, view)
+		} else if info, isCreate := ch.created[id]; isCreate {
+			op, dests, ship, err = m.stageCreate(id, info, view, degraded)
+		} else {
+			op, dests, ship, err = m.stageUpdate(id, view, degraded)
+		}
+		if err != nil {
+			m.propErrors.Inc()
+			errs = append(errs, fmt.Errorf("%s: %w", id, err))
+			continue
+		}
+		if ship {
+			staged = append(staged, stagedOp{op: op, dests: dests})
+		}
+	}
+	if len(staged) == 0 {
+		return errors.Join(errs...)
+	}
+	// The per-destination replica sets are computed once: each destination
+	// receives one message holding only the ops whose objects it replicates
+	// (deletes address every view member, as in the per-object path).
+	perDest := make(map[transport.NodeID][]batchOp)
+	var dests []transport.NodeID
+	for _, s := range staged {
+		for _, d := range s.dests {
+			if d == m.self {
+				continue
+			}
+			if _, seen := perDest[d]; !seen {
+				dests = append(dests, d)
+			}
+			perDest[d] = append(perDest[d], s.op)
+		}
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	m.batchRounds.Inc()
+	m.batchSize.Add(int64(len(staged)))
+	for _, res := range m.comm.MulticastEach(ctx, m.self, dests, msgBatch, func(dst transport.NodeID) any {
+		return batchMsg{Ops: perDest[dst]}
+	}) {
+		if res.Err != nil {
+			// Unreachable replicas catch up during reconciliation; the
+			// failure stays visible through the metric.
+			m.propErrors.Inc()
+		}
+	}
+	return errors.Join(errs...)
 }
 
-func hasCreate(set map[object.ID]Info, id object.ID) bool {
-	_, ok := set[id]
-	return ok
+// stageCreate performs the sender-side bookkeeping of propagateCreate and
+// returns the batch op instead of multicasting it.
+func (m *Manager) stageCreate(id object.ID, info Info, view group.View, degraded bool) (batchOp, []transport.NodeID, bool, error) {
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return batchOp{}, nil, false, fmt.Errorf("replication: propagate create %s: %w", id, err)
+	}
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	if !ok {
+		m.mu.Unlock()
+		return batchOp{}, nil, false, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	rs.vv.Bump(m.self)
+	msg := createMsg{ID: id, Class: e.Class(), State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone(), Info: info}
+	m.mu.Unlock()
+	if err := m.store.Put(tableReplicaMeta, string(id), msg); err != nil {
+		return batchOp{}, nil, false, err
+	}
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	return batchOp{Kind: msgCreate, Create: msg}, info.reachableReplicas(view), true, nil
+}
+
+// stageUpdate performs the sender-side bookkeeping of propagateUpdate and
+// returns the batch op instead of multicasting it.
+func (m *Manager) stageUpdate(id object.ID, view group.View, degraded bool) (batchOp, []transport.NodeID, bool, error) {
+	e, err := m.registry.Get(id)
+	if err != nil {
+		return batchOp{}, nil, false, fmt.Errorf("replication: propagate update %s: %w", id, err)
+	}
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	if !ok {
+		m.mu.Unlock()
+		return batchOp{}, nil, false, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+	}
+	rs.vv.Bump(m.self)
+	msg := applyMsg{ID: id, State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone()}
+	info := rs.info
+	m.mu.Unlock()
+	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
+		return batchOp{}, nil, false, err
+	}
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	m.observe(id)
+	return batchOp{Kind: msgApply, Apply: msg}, info.reachableReplicas(view), true, nil
+}
+
+// stageDelete performs the sender-side bookkeeping of propagateDelete; ship
+// is false when the tombstone is already gone (nothing to send).
+func (m *Manager) stageDelete(id object.ID, view group.View) (batchOp, []transport.NodeID, bool) {
+	m.mu.Lock()
+	vv, ok := m.tombstones[id]
+	m.mu.Unlock()
+	if !ok {
+		return batchOp{}, nil, false
+	}
+	m.store.Delete(tableReplicaMeta, string(id))
+	// The replica set is gone from meta; address everyone in the view.
+	return batchOp{Kind: msgDelete, Delete: deleteMsg{ID: id, VV: vv.Clone()}}, view.Members, true
 }
 
 // Rollback implements tx.Resource: discard the change set.
@@ -525,9 +708,8 @@ func (m *Manager) propagateCreate(ctx context.Context, id object.ID, info Info, 
 		return err
 	}
 	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
-	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgCreate, msg) {
-		_ = res // unreachable replicas catch up during reconciliation
-	}
+	// Unreachable replicas catch up during reconciliation.
+	m.countSendFailures(m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgCreate, msg))
 	return nil
 }
 
@@ -551,9 +733,7 @@ func (m *Manager) propagateUpdate(ctx context.Context, id object.ID, view group.
 	}
 	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
 	m.observe(id)
-	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgApply, msg) {
-		_ = res
-	}
+	m.countSendFailures(m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgApply, msg))
 	return nil
 }
 
@@ -571,10 +751,20 @@ func (m *Manager) propagateDelete(ctx context.Context, id object.ID, view group.
 	}
 	m.store.Delete(tableReplicaMeta, string(id))
 	msg := deleteMsg{ID: id, VV: vv.Clone()}
-	for _, res := range m.comm.Multicast(ctx, m.self, infoReplicas, msgDelete, msg) {
-		_ = res
-	}
+	m.countSendFailures(m.comm.Multicast(ctx, m.self, infoReplicas, msgDelete, msg))
 	return nil
+}
+
+// countSendFailures records per-destination propagation failures in the
+// replication.propagation_errors metric. The failures are non-fatal —
+// unreachable replicas catch up during reconciliation — but no longer
+// invisible.
+func (m *Manager) countSendFailures(results []group.Result) {
+	for _, res := range results {
+		if res.Err != nil {
+			m.propErrors.Inc()
+		}
+	}
 }
 
 func (m *Manager) recordHistory(id object.ID, st object.State, version int64, vv VersionVector, degraded bool) {
@@ -612,9 +802,7 @@ func (m *Manager) PropagateState(ctx context.Context, id object.ID) error {
 	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
 		return err
 	}
-	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(m.view()), msgApply, msg) {
-		_ = res
-	}
+	m.countSendFailures(m.comm.Multicast(ctx, m.self, info.reachableReplicas(m.view()), msgApply, msg))
 	return nil
 }
 
@@ -698,6 +886,104 @@ func (m *Manager) handleDelete(from transport.NodeID, payload any) (any, error) 
 		m.store.Delete(tableReplicaMeta, string(msg.ID))
 	}
 	return "ack", nil
+}
+
+// handleBatch applies one transaction batch. The batch is validated before
+// anything mutates (a malformed op rejects the whole message with no state
+// change), and every op's version-vector decision is taken and installed
+// under a single hold of the replica lock, so concurrent readers observe the
+// batch's metadata all-or-nothing. Entity-state and persistence effects then
+// run in batch order. Each op is idempotent — duplicate deliveries are
+// skipped by version-vector comparison, duplicate creates merge, duplicate
+// deletes re-tombstone — so a redelivered batch is harmless. Per-object
+// staleness semantics (PossiblyStale, degraded-mode history on the
+// coordinator) are untouched: the batch is a wire format, not a protocol
+// change.
+func (m *Manager) handleBatch(from transport.NodeID, payload any) (any, error) {
+	b, ok := payload.(batchMsg)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad batch payload %T", payload)
+	}
+	for _, op := range b.Ops {
+		switch op.Kind {
+		case msgCreate, msgApply, msgDelete:
+		default:
+			return nil, fmt.Errorf("replication: bad batch op kind %q for %s", op.Kind, op.id())
+		}
+	}
+	var effects []func() error
+	applied, skipped := 0, 0
+	m.mu.Lock()
+	for _, op := range b.Ops {
+		switch op.Kind {
+		case msgCreate:
+			msg := op.Create
+			if existing, known := m.meta[msg.ID]; known {
+				existing.vv.Merge(msg.VV)
+				effects = append(effects, func() error {
+					m.applyState(msg.ID, msg.State, msg.Version)
+					return nil
+				})
+			} else {
+				m.meta[msg.ID] = &replicaState{info: msg.Info, vv: msg.VV.Clone()}
+				delete(m.tombstones, msg.ID)
+				effects = append(effects, func() error {
+					if msg.Info.HasReplica(m.self) {
+						e := object.New(msg.Class, msg.ID, nil)
+						e.Restore(msg.State, msg.Version)
+						if err := m.registry.Add(e); err != nil {
+							return fmt.Errorf("replication: batch create: %w", err)
+						}
+					}
+					return m.store.Put(tableReplicaMeta, string(msg.ID), msg.VV)
+				})
+			}
+			applied++
+		case msgApply:
+			msg := op.Apply
+			rs, known := m.meta[msg.ID]
+			if !known {
+				skipped++ // missed the create; reconciliation catches up
+				continue
+			}
+			cmp, comparable := msg.VV.Compare(rs.vv)
+			if !comparable || cmp <= 0 {
+				skipped++ // duplicate, older or concurrent: ignore (idempotence)
+				continue
+			}
+			rs.vv = msg.VV.Clone()
+			effects = append(effects, func() error {
+				m.applyState(msg.ID, msg.State, msg.Version)
+				m.observe(msg.ID)
+				return m.store.Put(tableReplicaMeta, string(msg.ID), msg.VV)
+			})
+			applied++
+		case msgDelete:
+			msg := op.Delete
+			_, known := m.meta[msg.ID]
+			delete(m.meta, msg.ID)
+			m.tombstones[msg.ID] = msg.VV.Clone()
+			if known {
+				effects = append(effects, func() error {
+					_ = m.registry.Remove(msg.ID)
+					m.store.Delete(tableReplicaMeta, string(msg.ID))
+					return nil
+				})
+			}
+			applied++
+		}
+	}
+	m.mu.Unlock()
+	var errs []error
+	for _, fx := range effects {
+		if err := fx(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return fmt.Sprintf("ack %d applied %d skipped", applied, skipped), nil
 }
 
 func (m *Manager) handleFetch(from transport.NodeID, payload any) (any, error) {

@@ -58,6 +58,12 @@ type ReconcileReport struct {
 // MostUpdatesResolver). It is driven by the reconciliation orchestrator
 // after a view change re-unites partitions (§4.4). The context bounds the
 // whole pass: every pull, push and conflict broadcast inherits it.
+//
+// The per-peer state pulls fan out concurrently through the group
+// communication worker pool — re-uniting N partitions costs ~1 pull round
+// of simulated time instead of ~N — while the merge itself runs sequentially
+// in peer order, so the outcome is deterministic and identical to the
+// sequential pass.
 func (m *Manager) ReconcileWith(ctx context.Context, peers []transport.NodeID, resolve ConflictResolver) (ReconcileReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -66,19 +72,20 @@ func (m *Manager) ReconcileWith(ctx context.Context, peers []transport.NodeID, r
 		resolve = MostUpdatesResolver
 	}
 	var report ReconcileReport
-	for _, peer := range peers {
-		if peer == m.self {
-			continue
-		}
-		resp, err := m.comm.Send(ctx, m.self, peer, msgPull, nil)
-		if err != nil {
+	results := m.comm.Multicast(ctx, m.self, peers, msgPull, nil)
+	if len(results) > 1 {
+		m.pullParallel.Inc()
+	}
+	for _, res := range results {
+		if res.Err != nil {
 			// Peer unreachable again: postpone (still degraded w.r.t. it).
 			continue
 		}
+		peer := res.Node
 		report.PeersContacted++
-		records, ok := resp.([]Record)
+		records, ok := res.Response.([]Record)
 		if !ok {
-			return report, fmt.Errorf("replication: bad pull response %T from %s", resp, peer)
+			return report, fmt.Errorf("replication: bad pull response %T from %s", res.Response, peer)
 		}
 		if err := m.mergeRecords(ctx, peer, records, resolve, &report); err != nil {
 			return report, err
@@ -229,9 +236,7 @@ func (m *Manager) resolveConflict(ctx context.Context, rec Record, resolve Confl
 	if err := m.store.Put(tableReplicaMeta, string(rec.ID), msg.VV); err != nil {
 		return err
 	}
-	for _, res := range m.comm.Multicast(ctx, m.self, info.reachableReplicas(m.view()), msgApply, msg) {
-		_ = res
-	}
+	m.countSendFailures(m.comm.Multicast(ctx, m.self, info.reachableReplicas(m.view()), msgApply, msg))
 	return nil
 }
 

@@ -29,7 +29,7 @@ type nodeEnv struct {
 	mgr   *Manager
 }
 
-func newHarness(t *testing.T, n int, protocol Protocol) *harness {
+func newHarness(t *testing.T, n int, protocol Protocol, cfgMods ...func(*Config)) *harness {
 	t.Helper()
 	h := &harness{
 		net:   transport.NewNetwork(),
@@ -50,14 +50,18 @@ func newHarness(t *testing.T, n int, protocol Protocol) *harness {
 			store: persistence.NewStore(),
 			txm:   tx.NewManager(),
 		}
-		mgr, err := NewManager(Config{
+		cfg := Config{
 			Self:     id,
 			Net:      h.net,
 			GMS:      h.gms,
 			Registry: env.reg,
 			Store:    env.store,
 			Protocol: protocol,
-		})
+		}
+		for _, mod := range cfgMods {
+			mod(&cfg)
+		}
+		mgr, err := NewManager(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

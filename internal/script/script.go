@@ -98,6 +98,10 @@ type Engine struct {
 	// membership with this configuration even without a 'detector' token
 	// (the CLI's -detector/-heartbeat-interval/-suspect-timeout flags).
 	Detect *detect.Config
+	// SequentialPropagation, when set before Run, makes 'cluster' build nodes
+	// with per-object commit propagation instead of transaction batching
+	// (the CLI's -batch-propagation=false).
+	SequentialPropagation bool
 
 	cluster     *node.Cluster
 	constraints []constraint.Configured
@@ -243,6 +247,7 @@ func (e *Engine) cmdCluster(args []string) error {
 		o.ThreatPolicy = threat.IdenticalOnce
 		o.Obs = e.Obs
 		o.Detect = detectCfg
+		o.SequentialPropagation = e.SequentialPropagation
 	})
 	if err != nil {
 		return err
