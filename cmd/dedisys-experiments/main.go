@@ -18,6 +18,7 @@ import (
 
 	"dedisys/internal/bench"
 	"dedisys/internal/obs"
+	"dedisys/internal/replication"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func run(args []string) error {
 		hbInterval     = fs.Duration("heartbeat-interval", 0, "exp-detect: failure detector heartbeat period (default 5ms)")
 		suspectTimeout = fs.Duration("suspect-timeout", 0, "exp-detect: fixed-timeout silence tolerance (default 5 intervals)")
 		batchProp      = fs.Bool("batch-propagation", true, "batch commit propagation into one multicast round per transaction (false: one round per object)")
+		protocol       = fs.String("protocol", "", "replica-control protocol for every experiment cluster: P4, primary-backup, primary-partition, adaptive-voting or quorum")
+		quorumK        = fs.Int("quorum-threshold", 0, "acks (incl. the coordinator) a quorum commit waits for; 0 = strict majority (requires -protocol=quorum)")
 
 		csvDir  = fs.String("csv", "", "also write each result as CSV into this directory")
 		metrics = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
@@ -79,6 +82,17 @@ func run(args []string) error {
 		cfg.SuspectTimeout = *suspectTimeout
 	}
 	cfg.SequentialPropagation = !*batchProp
+	if *protocol != "" || *quorumK != 0 {
+		if *quorumK != 0 && *protocol != "quorum" && *protocol != "q" {
+			return fmt.Errorf("-quorum-threshold requires -protocol=quorum")
+		}
+		// Validate the name up front so a typo fails before an hour-long run.
+		if _, err := replication.ProtocolByName(*protocol, *quorumK); err != nil {
+			return err
+		}
+		cfg.Protocol = *protocol
+		cfg.QuorumThreshold = *quorumK
+	}
 	var observer *obs.Observer
 	if *metrics || *trace {
 		observer = obs.New()

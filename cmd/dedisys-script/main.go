@@ -22,6 +22,7 @@ import (
 
 	"dedisys/internal/detect"
 	"dedisys/internal/obs"
+	"dedisys/internal/replication"
 	"dedisys/internal/script"
 )
 
@@ -62,8 +63,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	hbInterval := fs.Duration("heartbeat-interval", 0, "failure detector heartbeat period (default 10ms)")
 	suspectTimeout := fs.Duration("suspect-timeout", 0, "silence tolerance before suspecting a peer (default 5 intervals)")
 	batchProp := fs.Bool("batch-propagation", true, "batch commit propagation into one multicast round per transaction (false: one round per object)")
+	protocol := fs.String("protocol", "", "default replica-control protocol for 'cluster' commands: P4, primary-backup, primary-partition, adaptive-voting or quorum")
+	quorumThreshold := fs.Int("quorum-threshold", 0, "acks (incl. the coordinator) a quorum commit waits for; 0 = strict majority (requires -protocol=quorum)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var proto replication.Protocol
+	if *protocol != "" || *quorumThreshold != 0 {
+		if *quorumThreshold != 0 && *protocol != "quorum" && *protocol != "q" {
+			return fmt.Errorf("-quorum-threshold requires -protocol=quorum")
+		}
+		p, err := replication.ProtocolByName(*protocol, *quorumThreshold)
+		if err != nil {
+			return err
+		}
+		proto = p
 	}
 	detectCfg, err := detectConfig(*detector, *hbInterval, *suspectTimeout)
 	if err != nil {
@@ -88,6 +102,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	eng := script.New(stdout)
 	eng.Detect = detectCfg
 	eng.SequentialPropagation = !*batchProp
+	eng.Protocol = proto
 	if *metrics || *trace {
 		eng.Obs = obs.New()
 		eng.Obs.Tracer().SetEnabled(*trace)

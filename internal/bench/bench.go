@@ -37,6 +37,13 @@ type Config struct {
 	// SequentialPropagation disables transaction-batched commit propagation
 	// in every cluster the experiments build (-batch-propagation=false).
 	SequentialPropagation bool
+	// Protocol selects the replica-control protocol for every cluster the
+	// experiments build ("" keeps the P4 default; experiments that compare
+	// protocols override it per case). See replication.ProtocolByName.
+	Protocol string
+	// QuorumThreshold tunes the quorum protocol's commit threshold
+	// (-quorum-threshold; 0 = strict majority).
+	QuorumThreshold int
 	// Obs, when set, is shared by every cluster the experiments build so one
 	// registry/trace dump covers the whole run (--metrics/--trace).
 	Obs *obs.Observer
@@ -212,6 +219,7 @@ func Registry() []Experiment {
 		{ID: "abl-intra", Title: "Ablation: intra-object constraint classification (§3.1)", Run: runAblIntra},
 		{ID: "abl-repocache", Title: "Ablation: constraint repository cache in the middleware", Run: runAblRepoCache},
 		{ID: "exp-batch", Title: "Commit fan-out: batched vs per-object propagation (K dirty objects)", Run: runCommitFanOut},
+		{ID: "exp-quorum", Title: "Quorum commit tail latency: threshold vs full round under per-link jitter", Run: runQuorumTail},
 	}
 }
 

@@ -78,15 +78,29 @@ type clusterOpts struct {
 	keepHistory  bool
 	threatPolicy threat.StorePolicy
 	lockTimeout  time.Duration
+	// protocol overrides the replica-control protocol for this cluster;
+	// nil falls back to Config.Protocol, then to the P4 default.
+	protocol replication.Protocol
 }
 
 func newBenchCluster(cfg Config, o clusterOpts, threatType constraint.Type) (*node.Cluster, error) {
+	proto := o.protocol
+	if proto == nil && cfg.Protocol != "" {
+		p, err := replication.ProtocolByName(cfg.Protocol, cfg.QuorumThreshold)
+		if err != nil {
+			return nil, err
+		}
+		proto = p
+	}
 	netOpts := []transport.Option{}
 	if cfg.NetCost > 0 {
 		netOpts = append(netOpts, transport.WithCost(transport.CostModel{PerMessage: cfg.NetCost}))
 	}
 	c, err := node.NewCluster(o.size, netOpts, func(opt *node.Options) {
 		opt.RepoCache = true
+		if proto != nil {
+			opt.Protocol = proto
+		}
 		opt.DisableCCM = o.disableCCM
 		opt.DisableReplication = o.disableRepl
 		opt.KeepHistory = o.keepHistory

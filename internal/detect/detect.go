@@ -94,6 +94,11 @@ type Detector struct {
 	interval time.Duration
 	obs      *obs.Observer
 
+	// ctx bounds every heartbeat send and is cancelled by Stop: a stopping
+	// detector abandons in-flight sends instead of waiting out slow links.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu      sync.Mutex
 	peers   map[transport.NodeID]*peerState
 	seq     int64
@@ -140,6 +145,7 @@ func New(net *transport.Network, self transport.NodeID, cfg Config, opts ...Opti
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	d.ctx, d.cancel = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o(d)
 	}
@@ -191,8 +197,10 @@ func (d *Detector) Start() {
 	go d.run()
 }
 
-// Stop terminates the heartbeat loop (idempotent). The current heartbeat
-// round, if any, completes first.
+// Stop terminates the heartbeat loop (idempotent) and returns promptly even
+// mid-round: the detector-lifetime context is cancelled first, so in-flight
+// heartbeat sends abort instead of waiting out slow links, and a round stuck
+// behind a hung peer is abandoned rather than joined.
 func (d *Detector) Stop() {
 	d.mu.Lock()
 	if d.stopped {
@@ -202,6 +210,7 @@ func (d *Detector) Stop() {
 	d.stopped = true
 	started := d.started
 	d.mu.Unlock()
+	d.cancel()
 	close(d.stop)
 	if started {
 		<-d.done
@@ -241,22 +250,39 @@ func (d *Detector) tick() {
 
 	// Concurrent fan-out: one round costs ~1 hop of simulated time, and
 	// unreachable peers fail fast without delaying the rest of the round.
+	// Sends are bounded by the detector-lifetime context, so Stop aborts
+	// them instead of letting a slow link pin the round.
 	var wg sync.WaitGroup
 	for _, peer := range targets {
 		peer := peer
+		// Counted here, not in the goroutine: every increment completes
+		// before tick returns, so the stat is quiescent once Stop returns
+		// even when the round itself is abandoned.
+		d.heartbeatsSent.Inc()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			d.heartbeatsSent.Inc()
-			if _, err := d.net.Send(context.Background(), d.self, peer, MsgHeartbeat, hb); err == nil {
+			if _, err := d.net.Send(d.ctx, d.self, peer, MsgHeartbeat, hb); err == nil {
 				// A completed round trip proves the peer alive as much as a
 				// received heartbeat does.
 				d.alive(peer, time.Now())
 			}
 		}()
 	}
-	wg.Wait()
-	d.evaluate(time.Now())
+	// Join the round, but never block a Stop behind it: a peer whose handler
+	// hangs (beyond what context cancellation can interrupt) must not delay
+	// shutdown. The abandoned goroutines fail fast once the context is
+	// cancelled and only touch their own liveness bookkeeping.
+	roundDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(roundDone)
+	}()
+	select {
+	case <-roundDone:
+		d.evaluate(time.Now())
+	case <-d.stop:
+	}
 }
 
 // handleHeartbeat processes one received heartbeat: freshness for the

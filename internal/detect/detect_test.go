@@ -345,3 +345,43 @@ func TestConcurrentViewReads(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestStopReturnsPromptlyMidRound pins the shutdown contract: Stop must not
+// block behind an in-flight heartbeat send to a hung peer. The peer's
+// heartbeat handler parks on a channel, so without the detector-lifetime
+// context and the round-abandon path in tick, Stop would wait forever.
+func TestStopReturnsPromptlyMidRound(t *testing.T) {
+	net, ids := newDetectorNet(t, 2)
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	defer close(release)
+	if err := net.Handle(ids[1], MsgHeartbeat, func(transport.NodeID, any) (any, error) {
+		entered <- struct{}{}
+		<-release
+		return "ack", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(net, ids[0], Config{Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+
+	select {
+	case <-entered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("heartbeat round never reached the hung peer")
+	}
+
+	stopped := make(chan struct{})
+	go func() {
+		d.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(time.Second):
+		t.Fatal("Stop blocked behind an in-flight heartbeat send")
+	}
+}

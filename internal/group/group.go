@@ -11,10 +11,16 @@
 // per-destination results keep the deterministic destination order. The
 // caller's context bounds the whole fan-out: cancellation aborts
 // destinations that have not been attempted yet.
+//
+// MulticastThreshold is the quorum-return variant used by the Quorum
+// replica-control protocol: the call returns once a configurable number of
+// destinations ack, decoupling commit latency from the slowest link, while
+// the straggler sends complete in the background.
 package group
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -309,8 +315,11 @@ type Comm struct {
 	workers int
 	obs     *obs.Observer
 
-	concurrent *obs.Counter
-	duration   *obs.Histogram
+	concurrent          *obs.Counter
+	duration            *obs.Histogram
+	thresholdRounds     *obs.Counter
+	thresholdEarly      *obs.Counter
+	thresholdStragglers *obs.Counter
 }
 
 // CommOption configures a Comm.
@@ -342,6 +351,9 @@ func NewComm(net *transport.Network, opts ...CommOption) *Comm {
 	}
 	c.concurrent = c.obs.Counter("group.multicast.concurrent")
 	c.duration = c.obs.Histogram("group.multicast.duration")
+	c.thresholdRounds = c.obs.Counter("group.multicast.threshold.rounds")
+	c.thresholdEarly = c.obs.Counter("group.multicast.threshold.early")
+	c.thresholdStragglers = c.obs.Counter("group.multicast.threshold.stragglers")
 	return c
 }
 
@@ -384,8 +396,15 @@ func (c *Comm) MulticastEach(ctx context.Context, from transport.NodeID, to []tr
 	}
 	start := time.Now()
 	if len(dests) == 1 {
-		resp, err := c.net.Send(ctx, from, dests[0], kind, payloadFor(dests[0]))
-		results[0] = Result{Node: dests[0], Response: resp, Err: err}
+		// The fast path keeps the worker-pool semantics: a context that is
+		// already dead aborts the destination without invoking payloadFor or
+		// attempting a send, exactly as a pool worker would.
+		if err := ctx.Err(); err != nil {
+			results[0] = Result{Node: dests[0], Err: fmt.Errorf("group: multicast to %s aborted: %w", dests[0], err)}
+		} else {
+			resp, err := c.net.Send(ctx, from, dests[0], kind, payloadFor(dests[0]))
+			results[0] = Result{Node: dests[0], Response: resp, Err: err}
+		}
 		c.duration.Observe(time.Since(start))
 		return results
 	}
@@ -426,6 +445,136 @@ func (c *Comm) MulticastEach(ctx context.Context, from transport.NodeID, to []tr
 	wg.Wait()
 	c.duration.Observe(time.Since(start))
 	return results
+}
+
+// ThresholdCall is the synchronously-observable part of a threshold
+// multicast: MulticastThreshold returns it as soon as the required number of
+// destinations acked, while the remaining sends (the stragglers) complete in
+// the background. The counts are a consistent snapshot taken at return time;
+// the full per-destination results are only available through Wait, which
+// blocks until every send finished.
+type ThresholdCall struct {
+	// Acked is the number of successful acks when the call returned.
+	Acked int
+	// Completed is the number of sends (acked or failed) that had finished
+	// when the call returned; len(dests)-Completed sends were still in
+	// flight — the stragglers the threshold return decoupled from.
+	Completed int
+	// Err is nil when the threshold was reached; otherwise the reason the
+	// call returned early (the context error, or a shortfall when every
+	// send completed without enough acks).
+	Err error
+
+	results []Result
+	done    chan struct{}
+}
+
+// Wait blocks until every send of the round has completed — stragglers
+// included — and returns the full per-destination results in destination
+// order. It is safe to call from multiple goroutines.
+func (tc *ThresholdCall) Wait() []Result {
+	<-tc.done
+	return tc.results
+}
+
+// ErrThresholdShort reports a threshold multicast whose round completed with
+// fewer acks than required.
+var ErrThresholdShort = errors.New("group: threshold multicast fell short")
+
+// MulticastThreshold is MulticastEach with quorum-return semantics: the call
+// returns as soon as `need` destinations acked (a nil send error counts as
+// an ack), while the remaining sends complete in the background and their
+// results become visible through Wait. Every destination is attempted
+// concurrently — the primitive exists to decouple the caller's latency from
+// the slowest link, so sends are not funneled through the bounded worker
+// pool. need is clamped to [0, len(destinations excluding from)]; with need
+// 0 the call still issues every send but returns immediately. A dead
+// context aborts destinations that have not been attempted yet, and the
+// call returns early with the context error once no outcome can change.
+func (c *Comm) MulticastThreshold(ctx context.Context, from transport.NodeID, to []transport.NodeID, kind string, payloadFor func(transport.NodeID) any, need int) *ThresholdCall {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dests := make([]transport.NodeID, 0, len(to))
+	for _, dst := range to {
+		if dst != from {
+			dests = append(dests, dst)
+		}
+	}
+	tc := &ThresholdCall{
+		results: make([]Result, len(dests)),
+		done:    make(chan struct{}),
+	}
+	if need > len(dests) {
+		need = len(dests)
+	}
+	if need < 0 {
+		need = 0
+	}
+	if len(dests) == 0 {
+		close(tc.done)
+		return tc
+	}
+	start := time.Now()
+	c.thresholdRounds.Inc()
+	// One goroutine per destination: each writes its own result slot and
+	// reports the outcome index on the completion channel. The foreground
+	// loop below is the only reader of result slots before tc.done closes,
+	// and it only reads slots whose index it received — the channel send
+	// orders the slot write before the read.
+	completions := make(chan int, len(dests))
+	var wg sync.WaitGroup
+	wg.Add(len(dests))
+	for i, dst := range dests {
+		go func(i int, dst transport.NodeID) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				tc.results[i] = Result{Node: dst, Err: fmt.Errorf("group: multicast to %s aborted: %w", dst, err)}
+			} else {
+				resp, err := c.net.Send(ctx, from, dst, kind, payloadFor(dst))
+				tc.results[i] = Result{Node: dst, Response: resp, Err: err}
+			}
+			completions <- i
+		}(i, dst)
+	}
+	go func() {
+		wg.Wait()
+		close(tc.done)
+	}()
+
+	for tc.Completed < len(dests) {
+		// The threshold is reached, or can no longer be reached even if every
+		// remaining send succeeds: the caller learns its outcome now, the
+		// stragglers keep running.
+		if tc.Acked >= need {
+			break
+		}
+		if tc.Acked+(len(dests)-tc.Completed) < need {
+			tc.Err = fmt.Errorf("%w: %d of %d acks (%d destinations)", ErrThresholdShort, tc.Acked, need, len(dests))
+			break
+		}
+		select {
+		case i := <-completions:
+			tc.Completed++
+			if tc.results[i].Err == nil {
+				tc.Acked++
+			}
+		case <-ctx.Done():
+			tc.Err = fmt.Errorf("group: threshold multicast aborted: %w", ctx.Err())
+		}
+		if tc.Err != nil {
+			break
+		}
+	}
+	if tc.Err == nil && tc.Acked < need {
+		tc.Err = fmt.Errorf("%w: %d of %d acks (%d destinations)", ErrThresholdShort, tc.Acked, need, len(dests))
+	}
+	if tc.Completed < len(dests) {
+		c.thresholdEarly.Inc()
+		c.thresholdStragglers.Add(int64(len(dests) - tc.Completed))
+	}
+	c.duration.Observe(time.Since(start))
+	return tc
 }
 
 // Send forwards a point-to-point message (convenience over the network).

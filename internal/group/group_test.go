@@ -430,3 +430,217 @@ func TestMulticastEachExcludesSender(t *testing.T) {
 		t.Fatalf("results = %+v", results)
 	}
 }
+
+// TestMulticastEachCancelledContextTable pins the aligned fast-path
+// semantics: a context that is dead before the call starts must abort every
+// destination without invoking payloadFor or attempting a send, identically
+// at N=0, N=1 (the fast path) and N=2 (the worker pool).
+func TestMulticastEachCancelledContextTable(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		dests []transport.NodeID
+	}{
+		{"zero", nil},
+		{"one", []transport.NodeID{"n2"}},
+		{"two", []transport.NodeID{"n2", "n3"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, _ := threeNodes(t)
+			var handled atomic.Int64
+			for _, id := range []transport.NodeID{"n2", "n3"} {
+				if err := net.Handle(id, "update", func(transport.NodeID, any) (any, error) {
+					handled.Add(1)
+					return "ack", nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			comm := NewComm(net)
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			var payloads atomic.Int64
+			results := comm.MulticastEach(ctx, "n1", tc.dests, "update", func(transport.NodeID) any {
+				payloads.Add(1)
+				return "state"
+			})
+			if len(results) != len(tc.dests) {
+				t.Fatalf("results = %d, want %d", len(results), len(tc.dests))
+			}
+			for _, r := range results {
+				if !errors.Is(r.Err, context.Canceled) {
+					t.Fatalf("result for %s: err = %v, want context.Canceled", r.Node, r.Err)
+				}
+				if r.Response != nil {
+					t.Fatalf("result for %s carries a response despite dead context", r.Node)
+				}
+			}
+			if n := payloads.Load(); n != 0 {
+				t.Fatalf("payloadFor invoked %d times under a dead context", n)
+			}
+			if n := handled.Load(); n != 0 {
+				t.Fatalf("%d sends reached handlers under a dead context", n)
+			}
+		})
+	}
+}
+
+func fourNodes(t *testing.T) *transport.Network {
+	t.Helper()
+	net := transport.NewNetwork()
+	for _, id := range []transport.NodeID{"n1", "n2", "n3", "n4"} {
+		if err := net.Join(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+// TestMulticastThresholdReturnsEarly holds one destination hostage behind a
+// channel and asserts the call returns once the other two acked, then that
+// Wait delivers the straggler's result after release.
+func TestMulticastThresholdReturnsEarly(t *testing.T) {
+	net := fourNodes(t)
+	release := make(chan struct{})
+	for _, id := range []transport.NodeID{"n2", "n3"} {
+		id := id
+		if err := net.Handle(id, "update", func(transport.NodeID, any) (any, error) {
+			return string(id) + "-ack", nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Handle("n4", "update", func(transport.NodeID, any) (any, error) {
+		<-release
+		return "n4-ack", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	comm := NewComm(net)
+	call := comm.MulticastThreshold(context.Background(), "n1", []transport.NodeID{"n2", "n3", "n4"}, "update",
+		func(transport.NodeID) any { return "state" }, 2)
+	if call.Err != nil {
+		t.Fatalf("threshold call failed: %v", call.Err)
+	}
+	if call.Acked < 2 {
+		t.Fatalf("Acked = %d, want >= 2", call.Acked)
+	}
+	if call.Completed >= 3 {
+		t.Fatal("call only returned after the hostage destination completed")
+	}
+	close(release)
+	results := call.Wait()
+	if len(results) != 3 {
+		t.Fatalf("Wait results = %d, want 3", len(results))
+	}
+	want := []transport.NodeID{"n2", "n3", "n4"}
+	for i, r := range results {
+		if r.Node != want[i] {
+			t.Fatalf("results[%d] = %s, want %s (destination order)", i, r.Node, want[i])
+		}
+		if r.Err != nil {
+			t.Fatalf("result for %s: %v", r.Node, r.Err)
+		}
+		if r.Response != string(r.Node)+"-ack" {
+			t.Fatalf("response for %s = %v", r.Node, r.Response)
+		}
+	}
+}
+
+// TestMulticastThresholdShortfall cuts off enough destinations that the
+// threshold is unreachable and asserts the ErrThresholdShort outcome.
+func TestMulticastThresholdShortfall(t *testing.T) {
+	net := fourNodes(t)
+	if err := net.Handle("n2", "update", func(transport.NodeID, any) (any, error) { return "ack", nil }); err != nil {
+		t.Fatal(err)
+	}
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3", "n4"})
+	comm := NewComm(net)
+	call := comm.MulticastThreshold(context.Background(), "n1", []transport.NodeID{"n2", "n3", "n4"}, "update",
+		func(transport.NodeID) any { return "state" }, 2)
+	if !errors.Is(call.Err, ErrThresholdShort) {
+		t.Fatalf("Err = %v, want ErrThresholdShort", call.Err)
+	}
+	if call.Acked != 1 {
+		t.Fatalf("Acked = %d, want 1", call.Acked)
+	}
+	results := call.Wait()
+	var okCount int
+	for _, r := range results {
+		if r.Err == nil {
+			okCount++
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("completed acks = %d, want 1", okCount)
+	}
+}
+
+// TestMulticastThresholdEdgeCases covers the need clamp and the empty
+// destination set.
+func TestMulticastThresholdEdgeCases(t *testing.T) {
+	net := fourNodes(t)
+	for _, id := range []transport.NodeID{"n2", "n3", "n4"} {
+		if err := net.Handle(id, "update", func(transport.NodeID, any) (any, error) { return "ack", nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net)
+
+	// No destinations (sender filtered out): immediate success.
+	call := comm.MulticastThreshold(context.Background(), "n1", []transport.NodeID{"n1"}, "update",
+		func(transport.NodeID) any { return nil }, 3)
+	if call.Err != nil || len(call.Wait()) != 0 {
+		t.Fatalf("empty round: err=%v results=%d", call.Err, len(call.Wait()))
+	}
+
+	// need above the destination count clamps to a full round.
+	call = comm.MulticastThreshold(context.Background(), "n1", []transport.NodeID{"n2", "n3"}, "update",
+		func(transport.NodeID) any { return nil }, 99)
+	if call.Err != nil || call.Acked != 2 {
+		t.Fatalf("clamped round: err=%v acked=%d", call.Err, call.Acked)
+	}
+
+	// need 0 issues the sends but succeeds immediately.
+	call = comm.MulticastThreshold(context.Background(), "n1", []transport.NodeID{"n2", "n3", "n4"}, "update",
+		func(transport.NodeID) any { return nil }, 0)
+	if call.Err != nil {
+		t.Fatalf("need=0 round: err=%v", call.Err)
+	}
+	if results := call.Wait(); len(results) != 3 {
+		t.Fatalf("need=0 Wait results = %d, want 3", len(results))
+	}
+}
+
+// TestMulticastThresholdCancelled cancels the context while every send is
+// parked in a handler and asserts the call reports the abort without waiting
+// for the round.
+func TestMulticastThresholdCancelled(t *testing.T) {
+	net := fourNodes(t)
+	release := make(chan struct{})
+	defer close(release)
+	for _, id := range []transport.NodeID{"n2", "n3", "n4"} {
+		if err := net.Handle(id, "update", func(transport.NodeID, any) (any, error) {
+			<-release
+			return "ack", nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comm := NewComm(net)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *ThresholdCall, 1)
+	go func() {
+		done <- comm.MulticastThreshold(ctx, "n1", []transport.NodeID{"n2", "n3", "n4"}, "update",
+			func(transport.NodeID) any { return nil }, 2)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case call := <-done:
+		if !errors.Is(call.Err, context.Canceled) {
+			t.Fatalf("Err = %v, want context.Canceled", call.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled threshold multicast did not return")
+	}
+}

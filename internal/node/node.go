@@ -283,6 +283,11 @@ func (n *Node) Stop() {
 	if n.Detector != nil {
 		n.Detector.Stop()
 	}
+	if n.Repl != nil {
+		// Join the background straggler sends of threshold commits so a
+		// stopped node leaves no propagation in flight.
+		n.Repl.WaitPropagation()
+	}
 }
 
 // dispatch is the terminal interceptor: it executes the business method on

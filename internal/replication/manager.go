@@ -147,6 +147,12 @@ type Manager struct {
 	batchRounds  *obs.Counter // commit-time multicast rounds issued
 	propErrors   *obs.Counter // per-object/per-destination propagation failures
 	pullParallel *obs.Counter // reconciliation passes that pulled >1 peer concurrently
+	quorumRounds *obs.Counter // commit rounds shipped with threshold-return semantics
+	quorumShort  *obs.Counter // threshold rounds that fell short of the quorum
+
+	// propagation tracks in-flight background straggler sends of threshold
+	// commits; WaitPropagation joins them.
+	propagation sync.WaitGroup
 
 	mu         sync.Mutex
 	meta       map[object.ID]*replicaState
@@ -181,7 +187,6 @@ func NewManager(cfg Config) (*Manager, error) {
 		self:        cfg.Self,
 		net:         cfg.Net,
 		gms:         cfg.GMS,
-		comm:        group.NewComm(cfg.Net),
 		registry:    cfg.Registry,
 		store:       cfg.Store,
 		protocol:    cfg.Protocol,
@@ -196,12 +201,17 @@ func NewManager(cfg Config) (*Manager, error) {
 	if m.obs == nil {
 		m.obs = obs.New()
 	}
+	// The comm shares the manager's scope so its multicast counters land
+	// next to the replication metrics (per-node under the node observer).
+	m.comm = group.NewComm(cfg.Net, group.WithCommObserver(m.obs))
 	m.propagations = m.obs.Counter("replication.propagations")
 	m.conflicts = m.obs.Counter("replication.conflicts")
 	m.batchSize = m.obs.Counter("replication.batch.size")
 	m.batchRounds = m.obs.Counter("replication.batch.rounds")
 	m.propErrors = m.obs.Counter("replication.propagation_errors")
 	m.pullParallel = m.obs.Counter("reconcile.pull.concurrent")
+	m.quorumRounds = m.obs.Counter("replication.quorum.rounds")
+	m.quorumShort = m.obs.Counter("replication.quorum.short")
 	for kind, h := range map[string]transport.Handler{
 		msgCreate: m.handleCreate,
 		msgApply:  m.handleApply,
@@ -556,8 +566,9 @@ func (m *Manager) commitSequential(ctx context.Context, ch *txChanges, view grou
 // identical to the per-object path; only the wire format changes.
 func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.View, degraded bool) error {
 	type stagedOp struct {
-		op    batchOp
-		dests []transport.NodeID
+		op       batchOp
+		dests    []transport.NodeID
+		replicas int // full replica count, the quorum denominator
 	}
 	var staged []stagedOp
 	var errs []error
@@ -568,12 +579,18 @@ func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.V
 			ship  bool
 			err   error
 		)
+		// replicas defaults to the view size: deletes address every view
+		// member because their replica set is already gone from meta.
+		replicas := len(view.Members)
 		if _, isDelete := ch.deleted[id]; isDelete {
 			op, dests, ship = m.stageDelete(id, view)
 		} else if info, isCreate := ch.created[id]; isCreate {
 			op, dests, ship, err = m.stageCreate(id, info, view, degraded)
+			replicas = len(info.Replicas)
 		} else {
-			op, dests, ship, err = m.stageUpdate(id, view, degraded)
+			var info Info
+			op, info, dests, ship, err = m.stageUpdate(id, view, degraded)
+			replicas = len(info.Replicas)
 		}
 		if err != nil {
 			m.propErrors.Inc()
@@ -581,7 +598,7 @@ func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.V
 			continue
 		}
 		if ship {
-			staged = append(staged, stagedOp{op: op, dests: dests})
+			staged = append(staged, stagedOp{op: op, dests: dests, replicas: replicas})
 		}
 	}
 	if len(staged) == 0 {
@@ -606,9 +623,42 @@ func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.V
 	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
 	m.batchRounds.Inc()
 	m.batchSize.Add(int64(len(staged)))
-	for _, res := range m.comm.MulticastEach(ctx, m.self, dests, msgBatch, func(dst transport.NodeID) any {
+	payloadFor := func(dst transport.NodeID) any {
 		return batchMsg{Ops: perDest[dst]}
-	}) {
+	}
+	if tp, isThreshold := m.protocol.(ThresholdPolicy); isThreshold {
+		// Threshold commit: the round returns once the strictest quorum over
+		// the batch's objects is satisfied. The coordinator's own apply is
+		// the first ack, so the remote requirement is one less; it can never
+		// exceed the reachable destinations (WriteAllowed gated on the
+		// quorum being reachable, and reconciliation covers races between
+		// that check and the send).
+		need := 0
+		for _, s := range staged {
+			if remote := tp.CommitAcks(s.replicas) - 1; remote > need {
+				need = remote
+			}
+		}
+		if need > len(dests) {
+			need = len(dests)
+		}
+		m.quorumRounds.Inc()
+		call := m.comm.MulticastThreshold(ctx, m.self, dests, msgBatch, payloadFor, need)
+		if call.Err != nil {
+			m.quorumShort.Inc()
+			m.propErrors.Inc()
+			errs = append(errs, fmt.Errorf("replication: quorum commit: %w", call.Err))
+		}
+		// Straggler sends complete in the background; their failures stay
+		// visible through the metric once the round fully drains.
+		m.propagation.Add(1)
+		go func() {
+			defer m.propagation.Done()
+			m.countSendFailures(call.Wait())
+		}()
+		return errors.Join(errs...)
+	}
+	for _, res := range m.comm.MulticastEach(ctx, m.self, dests, msgBatch, payloadFor) {
 		if res.Err != nil {
 			// Unreachable replicas catch up during reconciliation; the
 			// failure stays visible through the metric.
@@ -642,28 +692,30 @@ func (m *Manager) stageCreate(id object.ID, info Info, view group.View, degraded
 }
 
 // stageUpdate performs the sender-side bookkeeping of propagateUpdate and
-// returns the batch op instead of multicasting it.
-func (m *Manager) stageUpdate(id object.ID, view group.View, degraded bool) (batchOp, []transport.NodeID, bool, error) {
+// returns the batch op — plus the object's placement, whose replica count is
+// the quorum denominator under a threshold protocol — instead of
+// multicasting it.
+func (m *Manager) stageUpdate(id object.ID, view group.View, degraded bool) (batchOp, Info, []transport.NodeID, bool, error) {
 	e, err := m.registry.Get(id)
 	if err != nil {
-		return batchOp{}, nil, false, fmt.Errorf("replication: propagate update %s: %w", id, err)
+		return batchOp{}, Info{}, nil, false, fmt.Errorf("replication: propagate update %s: %w", id, err)
 	}
 	m.mu.Lock()
 	rs, ok := m.meta[id]
 	if !ok {
 		m.mu.Unlock()
-		return batchOp{}, nil, false, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+		return batchOp{}, Info{}, nil, false, fmt.Errorf("%w: %s", ErrUnknownObject, id)
 	}
 	rs.vv.Bump(m.self)
 	msg := applyMsg{ID: id, State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone()}
 	info := rs.info
 	m.mu.Unlock()
 	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
-		return batchOp{}, nil, false, err
+		return batchOp{}, Info{}, nil, false, err
 	}
 	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
 	m.observe(id)
-	return batchOp{Kind: msgApply, Apply: msg}, info.reachableReplicas(view), true, nil
+	return batchOp{Kind: msgApply, Apply: msg}, info, info.reachableReplicas(view), true, nil
 }
 
 // stageDelete performs the sender-side bookkeeping of propagateDelete; ship
@@ -679,6 +731,13 @@ func (m *Manager) stageDelete(id object.ID, view group.View) (batchOp, []transpo
 	// The replica set is gone from meta; address everyone in the view.
 	return batchOp{Kind: msgDelete, Delete: deleteMsg{ID: id, VV: vv.Clone()}}, view.Members, true
 }
+
+// WaitPropagation blocks until every background straggler send of earlier
+// threshold commits has drained. Under a non-threshold protocol it returns
+// immediately. Shutdown paths and tests that assert replica convergence
+// right after a quorum commit must call it first: a threshold commit only
+// guarantees the quorum, the remaining replicas are still being written.
+func (m *Manager) WaitPropagation() { m.propagation.Wait() }
 
 // Rollback implements tx.Resource: discard the change set.
 func (m *Manager) Rollback(t *tx.Tx) error {

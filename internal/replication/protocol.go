@@ -5,7 +5,7 @@
 // propagation of missed updates with write-write conflict detection for the
 // reconciliation phase (§4.4).
 //
-// Four replica-control protocols are provided:
+// Five replica-control protocols are provided:
 //
 //   - PrimaryBackup: the classic protocol; writes require the designated
 //     primary to be reachable.
@@ -18,6 +18,9 @@
 //   - AdaptiveVoting ([7] in the dissertation): quorum-based writes whose
 //     quorum adapts in degraded mode; sub-quorum writes are permitted but
 //     reported stale so that the threat mechanism governs them.
+//   - Quorum: threshold commit; a write returns once a configurable number
+//     of replicas (default: strict majority) acked the batch, stragglers
+//     catch up in the background or through reconciliation.
 package replication
 
 import (
@@ -227,6 +230,111 @@ func (AdaptiveVoting) WriteAllowed(info Info, view group.View, _ float64) error 
 // majority read quorum of replicas reachable.
 func (AdaptiveVoting) PossiblyStale(info Info, view group.View) bool {
 	return 2*len(info.reachableReplicas(view)) <= len(info.Replicas)
+}
+
+// ThresholdPolicy is implemented by protocols whose commit propagation may
+// return after a threshold of replica acks instead of a full round: the
+// manager then ships batches through group.MulticastThreshold, the straggler
+// sends complete in the background, and replicas that missed the round catch
+// up through version-vector reconciliation.
+type ThresholdPolicy interface {
+	// CommitAcks returns how many replica acks — counting the coordinator's
+	// own local apply — a commit must gather before it returns, for an
+	// object with the given replica count.
+	CommitAcks(replicas int) int
+}
+
+// Quorum is the threshold-commit protocol (§4.3's adaptive-voting write
+// path, the Prop/Ack shape of threshold witnessing): a commit is durable
+// once a configurable number of replicas acked — by default a strict
+// majority — and returns without waiting for the slowest link. Stragglers
+// receive the batch in the background; replicas that miss it converge via
+// reconciliation. Writes require the quorum to be reachable, so unlike
+// AdaptiveVoting, sub-quorum partitions are read-only.
+type Quorum struct {
+	// Threshold is the total number of replica acks (including the
+	// coordinator's local apply) required to commit; 0 selects a strict
+	// majority of the object's replica set. Values are clamped to
+	// [1, replica count] per object.
+	Threshold int
+}
+
+var _ Protocol = Quorum{}
+var _ ThresholdPolicy = Quorum{}
+
+// Name implements Protocol.
+func (Quorum) Name() string { return "quorum" }
+
+// CommitAcks implements ThresholdPolicy.
+func (q Quorum) CommitAcks(replicas int) int {
+	if replicas < 1 {
+		return 0
+	}
+	need := q.Threshold
+	if need <= 0 {
+		need = replicas/2 + 1
+	}
+	if need > replicas {
+		need = replicas
+	}
+	if need < 1 {
+		need = 1
+	}
+	return need
+}
+
+// Coordinator implements Protocol: the designated home coordinates while
+// reachable; otherwise the smallest reachable replica node takes over, as
+// under P4.
+func (Quorum) Coordinator(info Info, view group.View) (transport.NodeID, error) {
+	if view.Contains(info.Home) {
+		return info.Home, nil
+	}
+	reachable := info.reachableReplicas(view)
+	if len(reachable) == 0 {
+		return "", fmt.Errorf("%w: object home %s", ErrNoReplica, info.Home)
+	}
+	return reachable[0], nil
+}
+
+// WriteAllowed implements Protocol: the commit quorum must be reachable —
+// a partition that cannot possibly gather CommitAcks acks is read-only.
+func (q Quorum) WriteAllowed(info Info, view group.View, _ float64) error {
+	reachable := len(info.reachableReplicas(view))
+	if reachable == 0 {
+		return fmt.Errorf("%w: object home %s", ErrNoReplica, info.Home)
+	}
+	if need := q.CommitAcks(len(info.Replicas)); reachable < need {
+		return fmt.Errorf("%w: %d of %d replicas reachable, quorum is %d", ErrWriteNotAllowed, reachable, len(info.Replicas), need)
+	}
+	return nil
+}
+
+// PossiblyStale implements Protocol: reads are reliable only with a strict
+// majority of replicas reachable — any smaller partition may have missed a
+// quorum commit gathered elsewhere, and even within the write partition a
+// replica may be a straggler the threshold round did not wait for.
+func (Quorum) PossiblyStale(info Info, view group.View) bool {
+	return 2*len(info.reachableReplicas(view)) <= len(info.Replicas)
+}
+
+// ProtocolByName resolves a protocol identifier as accepted by the CLI
+// -protocol flags and the script engine. quorumThreshold is only meaningful
+// for "quorum" (0 keeps the majority default).
+func ProtocolByName(name string, quorumThreshold int) (Protocol, error) {
+	switch name {
+	case "", "P4", "p4", "primary-per-partition":
+		return PrimaryPerPartition{}, nil
+	case "primary-backup", "pb":
+		return PrimaryBackup{}, nil
+	case "primary-partition", "pp":
+		return PrimaryPartition{}, nil
+	case "adaptive-voting", "av":
+		return AdaptiveVoting{}, nil
+	case "quorum", "q":
+		return Quorum{Threshold: quorumThreshold}, nil
+	}
+	return nil, fmt.Errorf("replication: unknown protocol %q (want P4, primary-backup, primary-partition, adaptive-voting or quorum)", name)
 }
 
 // VersionVector counts, per coordinating node, how many committed updates an

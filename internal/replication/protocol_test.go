@@ -21,6 +21,7 @@ func TestProtocolNames(t *testing.T) {
 		"P4":                PrimaryPerPartition{},
 		"primary-partition": PrimaryPartition{},
 		"adaptive-voting":   AdaptiveVoting{},
+		"quorum":            Quorum{},
 	}
 	for want, p := range cases {
 		if p.Name() != want {

@@ -1,0 +1,247 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dedisys/internal/object"
+	"dedisys/internal/transport"
+)
+
+func TestQuorumCommitAcks(t *testing.T) {
+	for _, tc := range []struct {
+		threshold, replicas, want int
+	}{
+		{0, 1, 1}, // singleton: the coordinator alone
+		{0, 3, 2}, // majority default
+		{0, 4, 3},
+		{0, 8, 5},
+		{1, 3, 1},  // explicit threshold
+		{3, 3, 3},  // full round
+		{99, 3, 3}, // clamped down to the replica set
+		{-2, 3, 2}, // nonsense thresholds fall back to majority
+		{0, 0, 0},  // no replicas, nothing to ack
+	} {
+		q := Quorum{Threshold: tc.threshold}
+		if got := q.CommitAcks(tc.replicas); got != tc.want {
+			t.Errorf("Quorum{%d}.CommitAcks(%d) = %d, want %d", tc.threshold, tc.replicas, got, tc.want)
+		}
+	}
+}
+
+func TestQuorumProtocolSemantics(t *testing.T) {
+	q := Quorum{}
+	info := threeReplicaInfo()
+
+	// Healthy view: home coordinates, writes allowed, reads reliable.
+	if c, err := q.Coordinator(info, view("n1", "n2", "n3")); err != nil || c != "n1" {
+		t.Errorf("healthy coordinator = %s, %v", c, err)
+	}
+	if err := q.WriteAllowed(info, view("n1", "n2", "n3"), 1); err != nil {
+		t.Errorf("healthy write blocked: %v", err)
+	}
+	if q.PossiblyStale(info, view("n1", "n2", "n3")) {
+		t.Error("healthy view stale")
+	}
+
+	// Majority partition without the home: takeover, still writable. Reads
+	// stay possibly stale — the threshold round may not have waited for a
+	// replica in this partition.
+	if c, err := q.Coordinator(info, view("n2", "n3")); err != nil || c != "n2" {
+		t.Errorf("takeover coordinator = %s, %v", c, err)
+	}
+	if err := q.WriteAllowed(info, view("n2", "n3"), 0.66); err != nil {
+		t.Errorf("majority write blocked: %v", err)
+	}
+	if q.PossiblyStale(info, view("n1", "n2")) {
+		t.Error("majority view stale")
+	}
+
+	// Minority partition: read-only, stale.
+	if err := q.WriteAllowed(info, view("n3"), 0.33); !errors.Is(err, ErrWriteNotAllowed) {
+		t.Errorf("sub-quorum write: err = %v, want ErrWriteNotAllowed", err)
+	}
+	if !q.PossiblyStale(info, view("n3")) {
+		t.Error("minority view not stale")
+	}
+
+	// No reachable replica at all.
+	if _, err := q.Coordinator(info, view("n9")); !errors.Is(err, ErrNoReplica) {
+		t.Errorf("coordinator without replicas: %v", err)
+	}
+	if err := q.WriteAllowed(info, view("n9"), 0); !errors.Is(err, ErrNoReplica) {
+		t.Errorf("write without replicas: %v", err)
+	}
+
+	// An explicit full threshold makes any missing replica block writes.
+	full := Quorum{Threshold: 3}
+	if err := full.WriteAllowed(info, view("n1", "n2"), 0.66); !errors.Is(err, ErrWriteNotAllowed) {
+		t.Errorf("full-threshold write with straggler: %v", err)
+	}
+}
+
+func TestProtocolByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":                  "P4",
+		"P4":                "P4",
+		"p4":                "P4",
+		"primary-backup":    "primary-backup",
+		"pb":                "primary-backup",
+		"primary-partition": "primary-partition",
+		"adaptive-voting":   "adaptive-voting",
+		"quorum":            "quorum",
+		"q":                 "quorum",
+	} {
+		p, err := ProtocolByName(name, 0)
+		if err != nil {
+			t.Fatalf("ProtocolByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("ProtocolByName(%q) = %s, want %s", name, p.Name(), want)
+		}
+	}
+	if _, err := ProtocolByName("bogus", 0); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	p, err := ProtocolByName("quorum", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, ok := p.(Quorum); !ok || q.Threshold != 3 {
+		t.Errorf("quorum threshold not threaded through: %#v", p)
+	}
+}
+
+// TestQuorumStragglerCatchUp is the core durability property: a commit that
+// returned with only the quorum acked while a replica was partitioned loses
+// nothing — after healing, reconciliation converges the version vectors and
+// the straggler sees every committed write.
+func TestQuorumStragglerCatchUp(t *testing.T) {
+	h := newHarness(t, 3, Quorum{})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(70)})
+	h.node("n1").mgr.WaitPropagation()
+
+	h.net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+
+	// 2 of 3 replicas reachable: the majority quorum holds, the write
+	// commits with n1 (local) + n2 acks.
+	h.write(t, "n1", "f1", "sold", int64(77))
+	h.node("n1").mgr.WaitPropagation()
+
+	if e, _ := h.node("n2").reg.Get("f1"); e.GetInt("sold") != 77 {
+		t.Fatalf("quorum replica = %d, want 77", e.GetInt("sold"))
+	}
+	if e, _ := h.node("n3").reg.Get("f1"); e.GetInt("sold") != 70 {
+		t.Fatalf("partitioned replica = %d, want 70", e.GetInt("sold"))
+	}
+
+	// The partitioned minority is read-only and reads possibly stale.
+	if err := h.tryWrite("n3", "f1", "sold", int64(99)); !errors.Is(err, ErrWriteNotAllowed) {
+		t.Fatalf("minority write: err = %v, want ErrWriteNotAllowed", err)
+	}
+	if _, st, err := h.node("n3").mgr.Lookup(context.Background(), "f1"); err != nil || !st.PossiblyStale {
+		t.Fatalf("minority read stale=%v err=%v, want stale", st.PossiblyStale, err)
+	}
+
+	h.net.Heal()
+	if _, err := h.node("n1").mgr.ReconcileWith(context.Background(), []transport.NodeID{"n3"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, nid := range h.ids {
+		if e, _ := h.node(nid).reg.Get("f1"); e.GetInt("sold") != 77 {
+			t.Fatalf("node %s after heal = %d, want 77 (committed write lost)", nid, e.GetInt("sold"))
+		}
+	}
+	vv1, _ := h.node("n1").mgr.VersionVector("f1")
+	vv3, _ := h.node("n3").mgr.VersionVector("f1")
+	if cmp, ok := vv1.Compare(vv3); !ok || cmp != 0 {
+		t.Fatalf("version vectors did not converge: %v vs %v", vv1, vv3)
+	}
+}
+
+// TestQuorumCommitDecouplesFromSlowLink injects heavy latency on the link to
+// one replica and asserts the commit returns in quorum time, while the
+// straggler still converges once the background send drains.
+func TestQuorumCommitDecouplesFromSlowLink(t *testing.T) {
+	h := newHarness(t, 3, Quorum{})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(70)})
+	h.node("n1").mgr.WaitPropagation()
+
+	const slow = 120 * time.Millisecond
+	h.net.SetLatency(func(from, to transport.NodeID, kind string) time.Duration {
+		if to == "n3" {
+			return slow
+		}
+		return 0
+	})
+	start := time.Now()
+	h.write(t, "n1", "f1", "sold", int64(77))
+	elapsed := time.Since(start)
+	if elapsed >= slow {
+		t.Fatalf("quorum commit took %v, still coupled to the slow link (%v)", elapsed, slow)
+	}
+	h.node("n1").mgr.WaitPropagation()
+	if e, _ := h.node("n3").reg.Get("f1"); e.GetInt("sold") != 77 {
+		t.Fatalf("straggler = %d after WaitPropagation, want 77", e.GetInt("sold"))
+	}
+	vv1, _ := h.node("n1").mgr.VersionVector("f1")
+	vv3, _ := h.node("n3").mgr.VersionVector("f1")
+	if cmp, ok := vv1.Compare(vv3); !ok || cmp != 0 {
+		t.Fatalf("straggler vv did not converge: %v vs %v", vv1, vv3)
+	}
+}
+
+// TestQuorumDuplicateBatchIdempotent redelivers a quorum-committed batch —
+// the transport-level duplicate a retried straggler send would produce —
+// and asserts the replica neither reapplies state nor advances its vector,
+// answering with an all-skipped ack both times.
+func TestQuorumDuplicateBatchIdempotent(t *testing.T) {
+	h := newHarness(t, 3, Quorum{})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(70)})
+	h.write(t, "n1", "f1", "sold", int64(77))
+	h.node("n1").mgr.WaitPropagation()
+
+	src := h.node("n1")
+	e1, _ := src.reg.Get("f1")
+	vv1, _ := src.mgr.VersionVector("f1")
+	batch := batchMsg{Ops: []batchOp{
+		{Kind: msgApply, Apply: applyMsg{ID: "f1", State: e1.Snapshot(), Version: e1.Version(), VV: vv1}},
+	}}
+
+	dst := h.node("n2").mgr
+	for round := 1; round <= 3; round++ {
+		resp, err := dst.handleBatch("n1", batch)
+		if err != nil {
+			t.Fatalf("delivery %d: %v", round, err)
+		}
+		// The first delivery already happened during commit, so every
+		// direct redelivery is a duplicate ack: nothing applied.
+		if s, ok := resp.(string); !ok || !strings.HasPrefix(s, "ack 0 applied") {
+			t.Fatalf("delivery %d response = %v, want duplicate-ack (0 applied)", round, resp)
+		}
+		if e, _ := h.node("n2").reg.Get("f1"); e.GetInt("sold") != 77 || e.Version() != e1.Version() {
+			t.Fatalf("delivery %d mutated the replica: %d v%d", round, e.GetInt("sold"), e.Version())
+		}
+		vvGot, _ := dst.VersionVector("f1")
+		if cmp, ok := vvGot.Compare(vv1); !ok || cmp != 0 {
+			t.Fatalf("delivery %d vv = %v, want %v", round, vvGot, vv1)
+		}
+	}
+}
+
+// TestQuorumExplicitThresholdWaitsForAll pins the configurable threshold: at
+// Threshold == replica count the commit degenerates to a full round, so the
+// replicas are already converged when the commit returns.
+func TestQuorumExplicitThresholdWaitsForAll(t *testing.T) {
+	h := newHarness(t, 3, Quorum{Threshold: 3})
+	h.create(t, "n1", "Flight", "f1", object.State{"sold": int64(70)})
+	h.write(t, "n1", "f1", "sold", int64(77))
+	for _, nid := range h.ids {
+		if e, _ := h.node(nid).reg.Get("f1"); e.GetInt("sold") != 77 {
+			t.Fatalf("node %s = %d right after full-threshold commit, want 77", nid, e.GetInt("sold"))
+		}
+	}
+}

@@ -102,6 +102,10 @@ type Engine struct {
 	// with per-object commit propagation instead of transaction batching
 	// (the CLI's -batch-propagation=false).
 	SequentialPropagation bool
+	// Protocol, when set before Run, is the replica-control protocol
+	// 'cluster' defaults to when the script names none (the CLI's
+	// -protocol/-quorum-threshold flags). Script tokens still win.
+	Protocol replication.Protocol
 
 	cluster     *node.Cluster
 	constraints []constraint.Configured
@@ -127,8 +131,24 @@ func (e *Engine) Run(r io.Reader) error {
 		if err := e.exec(cmd); err != nil {
 			return fmt.Errorf("line %d (%s): %w", cmd.Line, cmd.Op, err)
 		}
+		e.settle()
 	}
 	return nil
+}
+
+// settle joins the background straggler sends of threshold commits after
+// every command, so scripted assertions observe a quiescent cluster even
+// under the quorum protocol (a quorum 'set' returns before the last replica
+// applied). A no-op under full-round protocols.
+func (e *Engine) settle() {
+	if e.cluster == nil {
+		return
+	}
+	for _, n := range e.cluster.Nodes {
+		if n.Repl != nil {
+			n.Repl.WaitPropagation()
+		}
+	}
 }
 
 func (e *Engine) exec(cmd Command) error {
@@ -214,7 +234,10 @@ func (e *Engine) cmdCluster(args []string) error {
 	if err != nil || size < 1 {
 		return fmt.Errorf("invalid cluster size %q", args[0])
 	}
-	proto := replication.Protocol(replication.PrimaryPerPartition{})
+	proto := e.Protocol
+	if proto == nil {
+		proto = replication.PrimaryPerPartition{}
+	}
 	detectCfg := e.Detect
 	for _, a := range args[1:] {
 		switch {
@@ -226,6 +249,14 @@ func (e *Engine) cmdCluster(args []string) error {
 			proto = replication.PrimaryPartition{}
 		case a == "adaptive-voting":
 			proto = replication.AdaptiveVoting{}
+		case a == "quorum":
+			proto = replication.Quorum{}
+		case strings.HasPrefix(a, "quorum="):
+			k, err := strconv.Atoi(strings.TrimPrefix(a, "quorum="))
+			if err != nil || k < 1 {
+				return fmt.Errorf("invalid quorum threshold %q", a)
+			}
+			proto = replication.Quorum{Threshold: k}
 		case a == "detector" || a == "detector=fixed":
 			if detectCfg == nil {
 				detectCfg = &detect.Config{}

@@ -9,7 +9,10 @@
 // drift between the transport, persistence and timing layers.
 package simtime
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // SpinThreshold is the duration above which Charge trusts time.Sleep. Below
 // it the scheduler's wake-up jitter dominates the charged cost, so Charge
@@ -29,4 +32,42 @@ func Charge(d time.Duration) {
 	end := time.Now().Add(d)
 	for time.Now().Before(end) {
 	}
+}
+
+// ChargeCtx blocks like Charge but aborts early when the context is
+// cancelled or past its deadline, returning the context error. A simulated
+// hop or per-link latency therefore cannot outlive its caller: an abandoned
+// send stops paying simulated time the moment the context dies. The spin
+// path polls the context coarsely (every few iterations' worth of clock
+// reads) so the sub-millisecond cost calibration is unaffected.
+func ChargeCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		Charge(d)
+		return nil
+	}
+	if d >= SpinThreshold {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	end := time.Now().Add(d)
+	done := ctx.Done()
+	for i := 0; time.Now().Before(end); i++ {
+		if done != nil && i%64 == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+	}
+	return nil
 }

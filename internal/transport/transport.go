@@ -8,7 +8,9 @@
 // every send is bounded by a context.Context: a cancelled or expired context
 // fails the send like ErrUnreachable without delivering the message, which is
 // what bounded blocking during partitions requires. An optional retry policy
-// masks transient message drops of the paper's lossy-link model (§1.1).
+// masks transient message drops of the paper's lossy-link model (§1.1), and
+// an optional per-link latency injector (LatencyFunc) adds jitter on top of
+// the fixed cost model for tail-latency experiments.
 // Partitions are injected with Partition and repaired with Heal; topology
 // watchers (the group membership service) are notified on every change in
 // epoch order.
@@ -62,10 +64,6 @@ type CostModel struct {
 	PerMessage time.Duration
 }
 
-func (c CostModel) charge() {
-	simtime.Charge(c.PerMessage)
-}
-
 // RetryPolicy masks transient message loss (§1.1: links "may fail by losing
 // some messages") by re-sending failed messages. Attempts is the total number
 // of tries (values below 1 mean a single try); Backoff is the simulated cost
@@ -81,6 +79,15 @@ type RetryPolicy struct {
 // fail with ErrUnreachable at the sender, like a timed-out request.
 type DropFunc func(from, to NodeID, kind string) bool
 
+// LatencyFunc injects extra per-link latency for one message — the jitter
+// analogue of DropFunc. It is consulted once per delivery attempt and its
+// result is charged as simulated time on top of the fixed cost model, so
+// experiments can model asymmetric links and heavy latency tails (slow
+// replicas) rather than a uniform hop cost. The charge honours the send's
+// context: a caller that gives up mid-latency abandons the message like a
+// timed-out request.
+type LatencyFunc func(from, to NodeID, kind string) time.Duration
+
 // Network is the simulated fabric. It is safe for concurrent use.
 type Network struct {
 	cost CostModel
@@ -92,6 +99,7 @@ type Network struct {
 	epoch    int64          // bumped on every topology change
 	watchers []func(epoch int64)
 	drop     DropFunc
+	latency  LatencyFunc
 	retry    RetryPolicy
 
 	// notifyMu serialises watcher notification outside n.mu; lastNotified
@@ -123,6 +131,11 @@ func WithCost(c CostModel) Option {
 // WithRetry installs a send retry policy.
 func WithRetry(p RetryPolicy) Option {
 	return func(n *Network) { n.retry = p }
+}
+
+// WithLatency installs a per-link latency injector.
+func WithLatency(l LatencyFunc) Option {
+	return func(n *Network) { n.latency = l }
 }
 
 // WithObserver attaches the fabric to a shared observability scope; without
@@ -245,6 +258,7 @@ func (n *Network) sendOnce(ctx context.Context, from, to NodeID, kind string, pa
 	ep, known := n.nodes[to]
 	reachable := known && n.connectedLocked(from, to)
 	drop := n.drop
+	latency := n.latency
 	n.mu.RUnlock()
 	if !known {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
@@ -267,9 +281,17 @@ func (n *Network) sendOnce(ctx context.Context, from, to NodeID, kind string, pa
 	if !ok {
 		return nil, fmt.Errorf("%w: %s on %s", ErrNoHandler, kind, to)
 	}
-	n.cost.charge()
-	// The hop cost may outlive the caller's deadline: the request is then
-	// abandoned in flight and must not be delivered.
+	// The hop cost — fixed model plus injected per-link latency — may
+	// outlive the caller's deadline: the charge then aborts early and the
+	// request is abandoned in flight without being delivered.
+	hop := n.cost.PerMessage
+	if latency != nil {
+		hop += latency(from, to, kind)
+	}
+	if cerr := simtime.ChargeCtx(ctx, hop); cerr != nil {
+		n.failures.Inc()
+		return nil, fmt.Errorf("%w: %s -> %s: %w", ErrUnreachable, from, to, cerr)
+	}
 	if cerr := ctx.Err(); cerr != nil {
 		n.failures.Inc()
 		return nil, fmt.Errorf("%w: %s -> %s: %w", ErrUnreachable, from, to, cerr)
@@ -430,6 +452,13 @@ func (n *Network) SetDrop(d DropFunc) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.drop = d
+}
+
+// SetLatency installs (or clears, with nil) the per-link latency injector.
+func (n *Network) SetLatency(l LatencyFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = l
 }
 
 // Stats returns delivery counters.

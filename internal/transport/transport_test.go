@@ -479,3 +479,82 @@ func newBenchNet(b *testing.B) *Network {
 	}
 	return n
 }
+
+// TestLatencyFuncChargesPerLink injects asymmetric per-link latency and
+// asserts only the configured link pays it.
+func TestLatencyFuncChargesPerLink(t *testing.T) {
+	n := newThreeNodeNet(t)
+	for _, id := range []NodeID{"n2", "n3"} {
+		if err := n.Handle(id, "ping", func(NodeID, any) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.SetLatency(func(from, to NodeID, kind string) time.Duration {
+		if to == "n2" {
+			return 5 * time.Millisecond
+		}
+		return 0
+	})
+	start := time.Now()
+	if _, err := n.Send(context.Background(), "n1", "n3", "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	fast := time.Since(start)
+	start = time.Now()
+	if _, err := n.Send(context.Background(), "n1", "n2", "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	slow := time.Since(start)
+	if slow < 4*time.Millisecond {
+		t.Fatalf("latency not charged on slow link: %v", slow)
+	}
+	if fast > 2*time.Millisecond {
+		t.Fatalf("latency leaked onto unconfigured link: %v", fast)
+	}
+	// Clearing the injector restores the base cost model.
+	n.SetLatency(nil)
+	start = time.Now()
+	if _, err := n.Send(context.Background(), "n1", "n2", "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	if cleared := time.Since(start); cleared > 2*time.Millisecond {
+		t.Fatalf("latency still charged after SetLatency(nil): %v", cleared)
+	}
+}
+
+// TestLatencyChargeAbortsOnCancel cancels a send stuck paying injected
+// latency and asserts it aborts without delivering.
+func TestLatencyChargeAbortsOnCancel(t *testing.T) {
+	n := newThreeNodeNet(t)
+	var delivered atomic.Int64
+	if err := n.Handle("n2", "ping", func(NodeID, any) (any, error) {
+		delivered.Add(1)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLatency(func(NodeID, NodeID, string) time.Duration { return time.Minute })
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := n.Send(ctx, "n1", "n2", "ping", nil)
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("err = %v, want unreachable+canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("send did not abort when its latency charge was cancelled")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("send blocked for the full injected latency: %v", elapsed)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("cancelled send was still delivered")
+	}
+}
