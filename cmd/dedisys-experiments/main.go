@@ -42,6 +42,8 @@ func run(args []string) error {
 		batchProp      = fs.Bool("batch-propagation", true, "batch commit propagation into one multicast round per transaction (false: one round per object)")
 		protocol       = fs.String("protocol", "", "replica-control protocol for every experiment cluster: P4, primary-backup, primary-partition, adaptive-voting or quorum")
 		quorumK        = fs.Int("quorum-threshold", 0, "acks (incl. the coordinator) a quorum commit waits for; 0 = strict majority (requires -protocol=quorum)")
+		groups         = fs.Int("groups", 0, "exp-shard: replica-group count for the sharded cases (0 = its defaults, G=2 and G=4)")
+		rf             = fs.Int("replication-factor", 0, "exp-shard: nodes replicating each group (0 = its default of 3)")
 
 		csvDir  = fs.String("csv", "", "also write each result as CSV into this directory")
 		metrics = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
@@ -93,6 +95,8 @@ func run(args []string) error {
 		cfg.Protocol = *protocol
 		cfg.QuorumThreshold = *quorumK
 	}
+	cfg.Groups = *groups
+	cfg.ReplicationFactor = *rf
 	var observer *obs.Observer
 	if *metrics || *trace {
 		observer = obs.New()

@@ -65,8 +65,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	batchProp := fs.Bool("batch-propagation", true, "batch commit propagation into one multicast round per transaction (false: one round per object)")
 	protocol := fs.String("protocol", "", "default replica-control protocol for 'cluster' commands: P4, primary-backup, primary-partition, adaptive-voting or quorum")
 	quorumThreshold := fs.Int("quorum-threshold", 0, "acks (incl. the coordinator) a quorum commit waits for; 0 = strict majority (requires -protocol=quorum)")
+	groups := fs.Int("groups", 0, "shard the object space across this many replica groups (0 = full replication)")
+	rf := fs.Int("replication-factor", 0, "nodes replicating each group; 0 = all nodes (requires -groups)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *rf != 0 && *groups == 0 {
+		return fmt.Errorf("-replication-factor requires -groups")
 	}
 	var proto replication.Protocol
 	if *protocol != "" || *quorumThreshold != 0 {
@@ -103,6 +108,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	eng.Detect = detectCfg
 	eng.SequentialPropagation = !*batchProp
 	eng.Protocol = proto
+	eng.Groups = *groups
+	eng.ReplicationFactor = *rf
 	if *metrics || *trace {
 		eng.Obs = obs.New()
 		eng.Obs.Tracer().SetEnabled(*trace)

@@ -44,6 +44,15 @@ type Config struct {
 	// QuorumThreshold tunes the quorum protocol's commit threshold
 	// (-quorum-threshold; 0 = strict majority).
 	QuorumThreshold int
+	// Groups sets the replica-group count for the sharded cases of the
+	// placement experiment, exp-shard (-groups; 0 runs its defaults, G=2
+	// and G=4). The other experiments keep full replication: their
+	// workloads drive explicit transactions from one pinned node, which
+	// must be the coordinator of every object it writes.
+	Groups int
+	// ReplicationFactor is the number of nodes replicating each group in
+	// exp-shard (-replication-factor; 0 = its default of 3).
+	ReplicationFactor int
 	// Obs, when set, is shared by every cluster the experiments build so one
 	// registry/trace dump covers the whole run (--metrics/--trace).
 	Obs *obs.Observer
@@ -220,6 +229,7 @@ func Registry() []Experiment {
 		{ID: "abl-repocache", Title: "Ablation: constraint repository cache in the middleware", Run: runAblRepoCache},
 		{ID: "exp-batch", Title: "Commit fan-out: batched vs per-object propagation (K dirty objects)", Run: runCommitFanOut},
 		{ID: "exp-quorum", Title: "Quorum commit tail latency: threshold vs full round under per-link jitter", Run: runQuorumTail},
+		{ID: "exp-shard", Title: "Sharded placement: per-node replica footprint and commit fan-out vs full replication", Run: runShard},
 	}
 }
 

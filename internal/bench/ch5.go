@@ -81,6 +81,13 @@ type clusterOpts struct {
 	// protocol overrides the replica-control protocol for this cluster;
 	// nil falls back to Config.Protocol, then to the P4 default.
 	protocol replication.Protocol
+	// groups/rf shard this cluster's object space across replica groups
+	// (0 = the seed's full replication). The chapter-5 workloads drive
+	// explicit transactions from one pinned node, which must be the
+	// coordinator of every object it writes — so sharding is opted into
+	// per experiment (exp-shard), not inherited from the Config.
+	groups int
+	rf     int
 }
 
 func newBenchCluster(cfg Config, o clusterOpts, threatType constraint.Type) (*node.Cluster, error) {
@@ -98,6 +105,10 @@ func newBenchCluster(cfg Config, o clusterOpts, threatType constraint.Type) (*no
 	}
 	c, err := node.NewCluster(o.size, netOpts, func(opt *node.Options) {
 		opt.RepoCache = true
+		if o.groups > 0 {
+			opt.Groups = o.groups
+			opt.ReplicationFactor = o.rf
+		}
 		if proto != nil {
 			opt.Protocol = proto
 		}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dedisys/internal/placement"
+	"dedisys/internal/transport"
+)
+
+// TestShardPlacementGate is the CI gate for the sharded object space at the
+// dissertation's evaluation scale: 10k objects on 8 nodes in 4 groups of 3
+// replicas. Every assertion is on deterministic quantities — hash placement
+// and the commit-time message count — so the gate cannot flake. When
+// BENCH_SHARD_JSON names a file, the measurements are written there for the
+// CI artifact.
+func TestShardPlacementGate(t *testing.T) {
+	const (
+		size     = 8
+		groups   = 4
+		rf       = 3
+		entities = 10_000
+		ops      = 32
+	)
+
+	// Gate 1: the hash ring spreads the object population evenly across
+	// groups — max/min per-group count within 1.3 at 10k objects.
+	ids := make([]transport.NodeID, size)
+	for i := range ids {
+		ids[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	ring, err := placement.New(ids, placement.Config{Groups: groups, ReplicationFactor: rf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGroup := make([]int, groups)
+	for i := 0; i < entities; i++ {
+		perGroup[ring.GroupOf(beanID(i))]++
+	}
+	minG, maxG := perGroup[0], perGroup[0]
+	for _, n := range perGroup[1:] {
+		if n < minG {
+			minG = n
+		}
+		if n > maxG {
+			maxG = n
+		}
+	}
+	balance := float64(maxG) / float64(minG)
+	if balance > 1.3 {
+		t.Errorf("group balance max/min = %.3f (counts %v), want <= 1.3", balance, perGroup)
+	}
+
+	// Gate 2+3: on a live cluster, sharding must cut the mean per-node
+	// replica footprint below 0.45x the population (expected R/N = 0.375x)
+	// while a single-group commit contacts only the R-1 group peers instead
+	// of all N-1 nodes.
+	cfg := QuickConfig()
+	full, err := measureShard(cfg, size, 0, 0, entities, ops)
+	if err != nil {
+		t.Fatalf("full replication: %v", err)
+	}
+	sharded, err := measureShard(cfg, size, groups, rf, entities, ops)
+	if err != nil {
+		t.Fatalf("sharded: %v", err)
+	}
+
+	if full.ObjectsPerNode != entities {
+		t.Errorf("full replication objects/node = %.1f, want %d (every node holds everything)", full.ObjectsPerNode, entities)
+	}
+	if limit := 0.45 * entities; sharded.ObjectsPerNode > limit {
+		t.Errorf("sharded objects/node = %.1f, want <= %.1f (0.45x population)", sharded.ObjectsPerNode, limit)
+	}
+	if want := float64(entities) * rf / size; sharded.ObjectsPerNode != want {
+		t.Errorf("sharded objects/node = %.1f, want exactly %.1f (R/N of the population)", sharded.ObjectsPerNode, want)
+	}
+	if want := float64(size - 1); full.MsgsPerCommit != want {
+		t.Errorf("full replication msgs/commit = %.2f, want %.0f (N-1 peers)", full.MsgsPerCommit, want)
+	}
+	if want := float64(rf - 1); sharded.MsgsPerCommit != want {
+		t.Errorf("sharded msgs/commit = %.2f, want %.0f (R-1 group peers)", sharded.MsgsPerCommit, want)
+	}
+
+	if path := os.Getenv("BENCH_SHARD_JSON"); path != "" {
+		report := map[string]any{
+			"n":                        size,
+			"groups":                   groups,
+			"rf":                       rf,
+			"entities":                 entities,
+			"balance_max_min":          balance,
+			"per_group":                perGroup,
+			"objects_per_node_full":    full.ObjectsPerNode,
+			"objects_per_node_sharded": sharded.ObjectsPerNode,
+			"footprint_ratio":          sharded.ObjectsPerNode / full.ObjectsPerNode,
+			"msgs_per_commit_full":     full.MsgsPerCommit,
+			"msgs_per_commit_sharded":  sharded.MsgsPerCommit,
+			"benchfmt": []string{
+				fmt.Sprintf("BenchmarkShardFootprint/mode=full/N=%d 1 %.0f objects/node", size, full.ObjectsPerNode),
+				fmt.Sprintf("BenchmarkShardFootprint/mode=sharded/N=%d/G=%d/R=%d 1 %.0f objects/node", size, groups, rf, sharded.ObjectsPerNode),
+				fmt.Sprintf("BenchmarkShardCommitFanOut/mode=full/N=%d 1 %.0f msgs/commit", size, full.MsgsPerCommit),
+				fmt.Sprintf("BenchmarkShardCommitFanOut/mode=sharded/N=%d/G=%d/R=%d 1 %.0f msgs/commit", size, groups, rf, sharded.MsgsPerCommit),
+			},
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+}

@@ -232,6 +232,77 @@ func (m *Membership) PartitionWeight(id transport.NodeID) float64 {
 	return mine / total
 }
 
+// FilteredView returns the node's current view restricted to the given
+// member set (an object's replica group under sharded placement): the view's
+// epoch with the intersection of its members and the set, preserving the
+// view's sorted order. Detector-driven views filter exactly the same way, so
+// group-local decisions compose unchanged with lagging or wrong views.
+func (m *Membership) FilteredView(id transport.NodeID, members []transport.NodeID) View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.views[id]
+	out := View{Epoch: v.Epoch}
+	for _, n := range v.Members {
+		if containsNode(members, n) {
+			out.Members = append(out.Members, n)
+		}
+	}
+	return out
+}
+
+// DegradedWithin is the group-local analogue of Degraded: the node perceives
+// the given member set as degraded when some deployed member of the set is
+// missing from its view. Members that never joined the network do not count
+// (joins are deployment actions, not failures), matching Degraded's use of
+// the joined-node universe. View, universe and weights are snapshotted under
+// one lock, as in Degraded.
+func (m *Membership) DegradedWithin(id transport.NodeID, members []transport.NodeID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.views[id]
+	for _, n := range members {
+		if containsNode(m.known, n) && !v.Contains(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// PartitionWeightWithin returns the weight fraction of the node's partition
+// relative to the given member set — the group-local §5.5.2 weight that
+// partition-aware protocols consult under sharded placement. Members that
+// never joined are excluded from both sides of the fraction; an empty
+// denominator yields 1 (an unpopulated group is trivially whole).
+func (m *Membership) PartitionWeightWithin(id transport.NodeID, members []transport.NodeID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.views[id]
+	var total, mine float64
+	for _, n := range members {
+		if !containsNode(m.known, n) {
+			continue
+		}
+		w := m.weightLocked(n)
+		total += w
+		if v.Contains(n) {
+			mine += w
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return mine / total
+}
+
+func containsNode(list []transport.NodeID, id transport.NodeID) bool {
+	for _, n := range list {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
 func (m *Membership) weightLocked(id transport.NodeID) float64 {
 	if w, ok := m.weights[id]; ok && w > 0 {
 		return w

@@ -106,6 +106,71 @@ func TestPartitionWeightCustom(t *testing.T) {
 	}
 }
 
+func TestFilteredView(t *testing.T) {
+	net, gms := threeNodes(t)
+	grp := []transport.NodeID{"n1", "n3"}
+	if v := gms.FilteredView("n1", grp); v.Size() != 2 || v.Contains("n2") {
+		t.Fatalf("healthy filtered view = %v", v)
+	}
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+	v := gms.FilteredView("n1", grp)
+	if v.Size() != 1 || !v.Contains("n1") {
+		t.Fatalf("split filtered view = %v", v)
+	}
+	if full := gms.ViewOf("n1"); v.Epoch != full.Epoch {
+		t.Fatalf("filtered epoch %d != view epoch %d", v.Epoch, full.Epoch)
+	}
+}
+
+func TestDegradedWithin(t *testing.T) {
+	net, gms := threeNodes(t)
+	grp := []transport.NodeID{"n1", "n2"}
+	if gms.DegradedWithin("n1", grp) {
+		t.Fatal("healthy group reported degraded")
+	}
+	// A split that keeps the whole group together degrades the system but
+	// not the group.
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+	if !gms.Degraded("n1") {
+		t.Fatal("system not degraded")
+	}
+	if gms.DegradedWithin("n1", grp) {
+		t.Fatal("intact group reported degraded")
+	}
+	if !gms.DegradedWithin("n3", []transport.NodeID{"n2", "n3"}) {
+		t.Fatal("split group not degraded")
+	}
+	// Never-joined members do not count as failures.
+	net.Heal()
+	if gms.DegradedWithin("n1", []transport.NodeID{"n1", "n9"}) {
+		t.Fatal("unjoined member counted as a failure")
+	}
+}
+
+func TestPartitionWeightWithin(t *testing.T) {
+	net, gms := threeNodes(t)
+	grp := []transport.NodeID{"n1", "n2", "n3"}
+	if w := gms.PartitionWeightWithin("n1", grp); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("healthy group weight = %f", w)
+	}
+	net.Partition([]transport.NodeID{"n1", "n2"}, []transport.NodeID{"n3"})
+	// Within the pair group the split is invisible: full weight.
+	if w := gms.PartitionWeightWithin("n1", []transport.NodeID{"n1", "n2"}); math.Abs(w-1) > 1e-9 {
+		t.Fatalf("intact group weight = %f", w)
+	}
+	if w := gms.PartitionWeightWithin("n1", grp); math.Abs(w-2.0/3.0) > 1e-9 {
+		t.Fatalf("split group weight = %f", w)
+	}
+	gms.SetWeight("n3", 2)
+	if w := gms.PartitionWeightWithin("n3", []transport.NodeID{"n2", "n3"}); math.Abs(w-2.0/3.0) > 1e-9 {
+		t.Fatalf("weighted group weight = %f", w)
+	}
+	// Only unjoined members: trivially whole.
+	if w := gms.PartitionWeightWithin("n1", []transport.NodeID{"n8", "n9"}); w != 1 {
+		t.Fatalf("unpopulated group weight = %f", w)
+	}
+}
+
 func TestViewEqual(t *testing.T) {
 	a := View{Members: []transport.NodeID{"a", "b"}}
 	b := View{Members: []transport.NodeID{"a", "b"}}

@@ -4,6 +4,11 @@
 // are created and lazily synchronised when partitions re-unify; like the
 // prototype's JNDI, the service favours availability (lookups are always
 // local) over binding consistency.
+//
+// Under sharded placement (WithPlacement) the binding table stays full-mesh —
+// every node can resolve every name — but each binding records the replica
+// group owning its object, so resolvers know which group to route the
+// invocation to without consulting the ring again.
 package naming
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"dedisys/internal/group"
 	"dedisys/internal/object"
+	"dedisys/internal/placement"
 	"dedisys/internal/transport"
 )
 
@@ -38,28 +44,60 @@ type binding struct {
 	ID    object.ID
 	Epoch int64
 	Dead  bool // tombstone after unbind
+	Group int  // owning replica group under sharded placement, -1 otherwise
+}
+
+// supersedes reports whether the incoming binding replaces the existing one.
+// The rule is a deterministic total order so that every node merging the
+// same pair of divergent tables — in either direction — converges on the
+// same winner: a higher epoch wins; at equal epochs a tombstone wins over a
+// live binding (an unbind concurrent with a rebind must not resurrect the
+// name on one side only); between two live bindings at the same epoch the
+// larger object ID wins as an arbitrary but global tie-break.
+func supersedes(incoming, existing binding) bool {
+	if incoming.Epoch != existing.Epoch {
+		return incoming.Epoch > existing.Epoch
+	}
+	if incoming.Dead != existing.Dead {
+		return incoming.Dead
+	}
+	return incoming.ID > existing.ID
 }
 
 // Service is the per-node naming service.
 type Service struct {
-	self transport.NodeID
-	net  *transport.Network
-	gms  *group.Membership
-	comm *group.Comm
+	self  transport.NodeID
+	net   *transport.Network
+	gms   *group.Membership
+	comm  *group.Comm
+	place *placement.Ring // nil under full replication
 
 	mu       sync.Mutex
 	epoch    int64
 	bindings map[string]binding
 }
 
+// Option configures a naming service.
+type Option func(*Service)
+
+// WithPlacement makes the service record, on every binding, the replica
+// group the placement ring assigns to the bound object. A nil ring is
+// ignored.
+func WithPlacement(r *placement.Ring) Option {
+	return func(s *Service) { s.place = r }
+}
+
 // New creates a naming service and registers its handlers.
-func New(self transport.NodeID, net *transport.Network, gms *group.Membership) (*Service, error) {
+func New(self transport.NodeID, net *transport.Network, gms *group.Membership, opts ...Option) (*Service, error) {
 	s := &Service{
 		self:     self,
 		net:      net,
 		gms:      gms,
 		comm:     group.NewComm(net),
 		bindings: make(map[string]binding),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	for kind, h := range map[string]transport.Handler{
 		msgBind:   s.handleBind,
@@ -82,18 +120,27 @@ func (s *Service) Bind(name string, id object.ID) error {
 		return fmt.Errorf("%w: %s", ErrAlreadyBound, name)
 	}
 	s.epoch++
-	b := binding{ID: id, Epoch: s.epoch}
+	b := binding{ID: id, Epoch: s.epoch, Group: s.groupOf(id)}
 	s.bindings[name] = b
 	s.mu.Unlock()
 	s.broadcast(msgBind, bindMsg{Name: name, Binding: b})
 	return nil
 }
 
+// groupOf resolves the owning replica group of an object, -1 when the
+// service runs without sharded placement.
+func (s *Service) groupOf(id object.ID) int {
+	if s.place == nil {
+		return -1
+	}
+	return s.place.GroupOf(id)
+}
+
 // Rebind associates a name with an object, replacing any existing binding.
 func (s *Service) Rebind(name string, id object.ID) {
 	s.mu.Lock()
 	s.epoch++
-	b := binding{ID: id, Epoch: s.epoch}
+	b := binding{ID: id, Epoch: s.epoch, Group: s.groupOf(id)}
 	s.bindings[name] = b
 	s.mu.Unlock()
 	s.broadcast(msgBind, bindMsg{Name: name, Binding: b})
@@ -109,7 +156,7 @@ func (s *Service) Unbind(name string) error {
 		return fmt.Errorf("%w: %s", ErrNotBound, name)
 	}
 	s.epoch++
-	dead := binding{ID: b.ID, Epoch: s.epoch, Dead: true}
+	dead := binding{ID: b.ID, Epoch: s.epoch, Dead: true, Group: b.Group}
 	s.bindings[name] = dead
 	s.mu.Unlock()
 	s.broadcast(msgUnbind, bindMsg{Name: name, Binding: dead})
@@ -125,6 +172,19 @@ func (s *Service) Lookup(name string) (object.ID, error) {
 		return "", fmt.Errorf("%w: %s", ErrNotBound, name)
 	}
 	return b.ID, nil
+}
+
+// Resolve is Lookup plus routing metadata: it returns the bound object and
+// the replica group owning it (-1 without sharded placement), so callers can
+// direct the invocation to the group without re-deriving the placement.
+func (s *Service) Resolve(name string) (object.ID, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.bindings[name]
+	if !ok || b.Dead {
+		return "", -1, fmt.Errorf("%w: %s", ErrNotBound, name)
+	}
+	return b.ID, b.Group, nil
 }
 
 // Names returns all bound names, sorted.
@@ -191,7 +251,7 @@ func (s *Service) mergeResponse(resp any) error {
 	defer s.mu.Unlock()
 	for name, rb := range remote {
 		lb, exists := s.bindings[name]
-		if !exists || rb.Epoch > lb.Epoch {
+		if !exists || supersedes(rb, lb) {
 			s.bindings[name] = rb
 			if rb.Epoch > s.epoch {
 				s.epoch = rb.Epoch
@@ -230,7 +290,7 @@ func (s *Service) applyRemote(payload any) (any, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if lb, exists := s.bindings[msg.Name]; !exists || msg.Binding.Epoch > lb.Epoch {
+	if lb, exists := s.bindings[msg.Name]; !exists || supersedes(msg.Binding, lb) {
 		s.bindings[msg.Name] = msg.Binding
 		if msg.Binding.Epoch > s.epoch {
 			s.epoch = msg.Binding.Epoch

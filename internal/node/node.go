@@ -21,6 +21,7 @@ import (
 	"dedisys/internal/object"
 	"dedisys/internal/obs"
 	"dedisys/internal/persistence"
+	"dedisys/internal/placement"
 	"dedisys/internal/replication"
 	"dedisys/internal/repository"
 	"dedisys/internal/threat"
@@ -30,6 +31,11 @@ import (
 
 // msgInvoke forwards an invocation to the coordinating node.
 const msgInvoke = "node.invoke"
+
+// msgDelete forwards a delete to the coordinating node — under sharded
+// placement a node outside the object's replica group holds no state to
+// delete locally.
+const msgDelete = "node.delete"
 
 // ErrNotCoordinator reports a transactional write invocation on a node that
 // is not the object's coordinator in the current view.
@@ -62,6 +68,17 @@ type Options struct {
 	// and falls back to one multicast round per dirty object (the pre-batch
 	// behaviour, kept for A/B comparisons via -batch-propagation=false).
 	SequentialPropagation bool
+	// Groups shards the object space across this many replica groups
+	// (consistent-hash placement). 0 keeps the seed's full replication;
+	// Groups=1 with ReplicationFactor 0 reproduces it through the ring.
+	Groups int
+	// ReplicationFactor is the number of nodes replicating each group;
+	// 0 or anything >= the cluster size places every group on all nodes.
+	// Only meaningful with Groups > 0.
+	ReplicationFactor int
+	// Placement overrides the ring built from Groups/ReplicationFactor;
+	// NewCluster shares one ring across all nodes through this field.
+	Placement *placement.Ring
 	// LockTimeout bounds object lock acquisition.
 	LockTimeout time.Duration
 	// Detect, when non-nil, runs a heartbeat failure detector on the node
@@ -85,6 +102,7 @@ type Node struct {
 	Repl     *replication.Manager
 	CCM      *core.Manager
 	Naming   *naming.Service
+	Ring     *placement.Ring  // sharded placement, nil under full replication
 	Detector *detect.Detector // nil unless Options.Detect was set
 	Obs      *obs.Observer    // per-node scope over the shared registry/tracer
 
@@ -207,6 +225,22 @@ func New(opts Options) (*Node, error) {
 	n.cmp = newCMPResource(n.Store, n.Registry)
 	n.TxMgr.RegisterResource(n.cmp)
 
+	ring := opts.Placement
+	if ring == nil && opts.Groups > 0 {
+		// Standalone construction: derive the ring from the network's node
+		// universe. Every node building from the same deployment and the
+		// same Groups/ReplicationFactor derives the identical placement.
+		r, err := placement.New(opts.Net.Nodes(), placement.Config{
+			Groups:            opts.Groups,
+			ReplicationFactor: opts.ReplicationFactor,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+		}
+		ring = r
+	}
+	n.Ring = ring
+
 	if !opts.DisableReplication {
 		mgr, err := replication.NewManager(replication.Config{
 			Self:        opts.ID,
@@ -217,6 +251,7 @@ func New(opts Options) (*Node, error) {
 			Protocol:    opts.Protocol,
 			KeepHistory: opts.KeepHistory,
 			Sequential:  opts.SequentialPropagation,
+			Placement:   ring,
 			Obs:         scoped,
 		})
 		if err != nil {
@@ -252,13 +287,16 @@ func New(opts Options) (*Node, error) {
 	}
 	n.chain = invocation.NewChain(n.dispatch, interceptors...)
 
-	ns, err := naming.New(opts.ID, opts.Net, opts.GMS)
+	ns, err := naming.New(opts.ID, opts.Net, opts.GMS, naming.WithPlacement(ring))
 	if err != nil {
 		return nil, fmt.Errorf("node %s: %w", opts.ID, err)
 	}
 	n.Naming = ns
 
 	if err := opts.Net.Handle(opts.ID, msgInvoke, n.handleRemoteInvoke); err != nil {
+		return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+	}
+	if err := opts.Net.Handle(opts.ID, msgDelete, n.handleRemoteDelete); err != nil {
 		return nil, fmt.Errorf("node %s: %w", opts.ID, err)
 	}
 
@@ -354,6 +392,14 @@ func (n *Node) handleRemoteInvoke(from transport.NodeID, payload any) (any, erro
 	return n.Invoke(p.Target, p.Method, p.Args...)
 }
 
+func (n *Node) handleRemoteDelete(from transport.NodeID, payload any) (any, error) {
+	id, ok := payload.(object.ID)
+	if !ok {
+		return nil, fmt.Errorf("node %s: bad delete payload %T", n.ID, payload)
+	}
+	return nil, n.Delete(id)
+}
+
 // Invoke performs one business operation in its own transaction
 // (container-managed, EJB "Required" semantics) under a background context.
 func (n *Node) Invoke(target object.ID, method string, args ...any) (any, error) {
@@ -386,7 +432,9 @@ func (n *Node) InvokeCtx(ctx context.Context, target object.ID, method string, a
 		}
 	}
 	if kind == object.Read && n.Repl != nil && !n.Repl.HasLocalReplica(target) {
-		info, err := n.Repl.Info(target)
+		// RouteInfo lets a node outside the object's replica group derive
+		// the placement from the ring; under full replication it is Info.
+		info, err := n.Repl.RouteInfo(target)
 		if err != nil {
 			return nil, err
 		}
@@ -535,8 +583,20 @@ func (n *Node) Delete(id object.ID) error {
 	return n.DeleteCtx(context.Background(), id)
 }
 
-// DeleteCtx is Delete bounded by the caller's context.
+// DeleteCtx is Delete bounded by the caller's context. A node outside the
+// object's replica group forwards the delete to the coordinator, like a
+// routed write; group members delete locally as before.
 func (n *Node) DeleteCtx(ctx context.Context, id object.ID) error {
+	if n.Repl != nil && !n.Repl.HasLocalReplica(id) {
+		coord, err := n.Repl.Coordinator(id)
+		if err != nil {
+			return err
+		}
+		if coord != n.ID {
+			_, err := n.net.Send(ctx, n.ID, coord, msgDelete, id)
+			return err
+		}
+	}
 	t := n.BeginCtx(ctx)
 	if err := n.DeleteTx(t, id); err != nil {
 		_ = t.Rollback()
@@ -584,7 +644,8 @@ type Cluster struct {
 	Net   *transport.Network
 	GMS   *group.Membership
 	Nodes []*Node
-	Obs   *obs.Observer // process-wide scope shared by network and nodes
+	Obs   *obs.Observer   // process-wide scope shared by network and nodes
+	Ring  *placement.Ring // shared sharded placement, nil under full replication
 
 	byID map[transport.NodeID]*Node
 }
@@ -622,6 +683,18 @@ func NewCluster(size int, netOpts []transport.Option, opts ...ClusterOption) (*C
 	}
 	gms := group.NewMembership(net, gmsOpts...)
 	c := &Cluster{Net: net, GMS: gms, Obs: base, byID: make(map[transport.NodeID]*Node, size)}
+	if probe.Groups > 0 {
+		// One ring shared by every node: all placement decisions across the
+		// cluster agree by construction.
+		ring, err := placement.New(ids, placement.Config{
+			Groups:            probe.Groups,
+			ReplicationFactor: probe.ReplicationFactor,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Ring = ring
+	}
 	for _, id := range ids {
 		o := Options{ID: id, Net: net, GMS: gms}
 		for _, fn := range opts {
@@ -629,6 +702,9 @@ func NewCluster(size int, netOpts []transport.Option, opts ...ClusterOption) (*C
 		}
 		o.ID, o.Net, o.GMS = id, net, gms // per-node identity is fixed
 		o.Obs = base
+		if c.Ring != nil {
+			o.Placement = c.Ring
+		}
 		nd, err := New(o)
 		if err != nil {
 			return nil, err

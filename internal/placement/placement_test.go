@@ -1,0 +1,236 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+
+	"dedisys/internal/object"
+	"dedisys/internal/transport"
+)
+
+func nodeList(n int) []transport.NodeID {
+	out := make([]transport.NodeID, n)
+	for i := range out {
+		out[i] = transport.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{Groups: 1}); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := New(nodeList(3), Config{Groups: 0}); err == nil {
+		t.Fatal("zero groups accepted")
+	}
+	if _, err := New(nodeList(3), Config{Groups: 1, ReplicationFactor: -1}); err == nil {
+		t.Fatal("negative replication factor accepted")
+	}
+}
+
+func TestDeterministicAcrossConstructions(t *testing.T) {
+	cfg := Config{Groups: 4, ReplicationFactor: 3}
+	a, err := New(nodeList(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same deployment presented shuffled and with duplicates must derive the
+	// identical placement: every node builds its own ring independently.
+	shuffled := []transport.NodeID{"n7", "n2", "n2", "n8", "n1", "n5", "n3", "n6", "n4", ""}
+	b, err := New(shuffled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		ra, rb := a.GroupReplicas(g), b.GroupReplicas(g)
+		if len(ra) != len(rb) {
+			t.Fatalf("group %d: %v vs %v", g, ra, rb)
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("group %d: %v vs %v", g, ra, rb)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		id := object.ID(fmt.Sprintf("obj-%d", i))
+		if a.GroupOf(id) != b.GroupOf(id) {
+			t.Fatalf("GroupOf(%s) differs between constructions", id)
+		}
+	}
+}
+
+func TestReplicaSetProperties(t *testing.T) {
+	r, err := New(nodeList(8), Config{Groups: 4, ReplicationFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReplicationFactor() != 3 {
+		t.Fatalf("ReplicationFactor = %d, want 3", r.ReplicationFactor())
+	}
+	for g := 0; g < 4; g++ {
+		reps := r.GroupReplicas(g)
+		if len(reps) != 3 {
+			t.Fatalf("group %d has %d replicas, want 3", g, len(reps))
+		}
+		seen := map[transport.NodeID]bool{}
+		for _, n := range reps {
+			if seen[n] {
+				t.Fatalf("group %d replica %s duplicated", g, n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.GroupReplicas(-1); got != nil {
+		t.Fatalf("GroupReplicas(-1) = %v, want nil", got)
+	}
+	if got := r.GroupReplicas(4); got != nil {
+		t.Fatalf("GroupReplicas(4) = %v, want nil", got)
+	}
+	g, reps := r.Place("obj-1")
+	if g != r.GroupOf("obj-1") || len(reps) != 3 {
+		t.Fatalf("Place = (%d, %v)", g, reps)
+	}
+}
+
+func TestReplicationFactorClamp(t *testing.T) {
+	for _, rf := range []int{0, 8, 99} {
+		r, err := New(nodeList(4), Config{Groups: 2, ReplicationFactor: rf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ReplicationFactor() != 4 {
+			t.Fatalf("rf=%d: effective = %d, want 4", rf, r.ReplicationFactor())
+		}
+		for g := 0; g < 2; g++ {
+			if len(r.GroupReplicas(g)) != 4 {
+				t.Fatalf("rf=%d group %d: %v", rf, g, r.GroupReplicas(g))
+			}
+		}
+	}
+}
+
+// TestFullReplicationMode checks the G=1 compatibility configuration: one
+// group over all nodes is the seed's full replication.
+func TestFullReplicationMode(t *testing.T) {
+	r, err := New(nodeList(5), Config{Groups: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		id := object.ID(fmt.Sprintf("obj-%d", i))
+		g, reps := r.Place(id)
+		if g != 0 {
+			t.Fatalf("GroupOf(%s) = %d, want 0", id, g)
+		}
+		if len(reps) != 5 {
+			t.Fatalf("replicas of %s = %v, want all 5 nodes", id, reps)
+		}
+	}
+}
+
+// TestGroupBalance10k is the placement-balance property behind the CI gate:
+// at 10k objects over 4 groups, the fullest group holds at most 1.3x the
+// emptiest.
+func TestGroupBalance10k(t *testing.T) {
+	r, err := New(nodeList(8), Config{Groups: 4, ReplicationFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		counts[r.GroupOf(object.ID(fmt.Sprintf("bean-%d", i)))]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 || float64(max)/float64(min) > 1.3 {
+		t.Fatalf("group balance max/min = %d/%d over %v", max, min, counts)
+	}
+}
+
+// TestMemberGroupsCoverAllSlots cross-checks MemberGroups against the
+// per-group replica sets.
+func TestMemberGroupsCoverAllSlots(t *testing.T) {
+	r, err := New(nodeList(8), Config{Groups: 4, ReplicationFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := 0
+	for _, n := range r.Nodes() {
+		for _, g := range r.MemberGroups(n) {
+			found := false
+			for _, rep := range r.GroupReplicas(g) {
+				if rep == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("MemberGroups(%s) lists group %d but the group does not list the node", n, g)
+			}
+			slots++
+		}
+	}
+	if slots != 4*3 {
+		t.Fatalf("covered %d (group,replica) slots, want 12", slots)
+	}
+}
+
+// TestStabilityUnderNodeRemoval checks the consistent-hashing property: a
+// group whose replica set did not contain the removed node keeps an
+// identical replica set when the ring is rebuilt without it.
+func TestStabilityUnderNodeRemoval(t *testing.T) {
+	cfg := Config{Groups: 8, ReplicationFactor: 3}
+	before, err := New(nodeList(8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const removed = transport.NodeID("n5")
+	var survivors []transport.NodeID
+	for _, n := range nodeList(8) {
+		if n != removed {
+			survivors = append(survivors, n)
+		}
+	}
+	after, err := New(survivors, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		old := before.GroupReplicas(g)
+		contained := false
+		for _, n := range old {
+			if n == removed {
+				contained = true
+			}
+		}
+		if contained {
+			continue // this group legitimately re-places one replica
+		}
+		now := after.GroupReplicas(g)
+		if len(now) != len(old) {
+			t.Fatalf("group %d: %v -> %v", g, old, now)
+		}
+		for i := range old {
+			if old[i] != now[i] {
+				t.Fatalf("group %d moved without containing %s: %v -> %v", g, removed, old, now)
+			}
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	r, err := New(nodeList(2), Config{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Describe(); s == "" {
+		t.Fatal("empty description")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"dedisys/internal/object"
 	"dedisys/internal/obs"
 	"dedisys/internal/persistence"
+	"dedisys/internal/placement"
 	"dedisys/internal/transport"
 	"dedisys/internal/tx"
 )
@@ -121,6 +122,12 @@ type Config struct {
 	// reproduces the seed behaviour: one multicast round per dirty object.
 	// Kept for A/B runs (-batch-propagation=false); batching is the default.
 	Sequential bool
+	// Placement, when non-nil, shards the object space: replica metadata is
+	// derived from the ring instead of caller-provided Infos, commit batches
+	// ship only to an object's replica group, and degraded-mode/quorum
+	// decisions run against group membership. Nil keeps the seed's
+	// full-replication behaviour bit-for-bit.
+	Placement *placement.Ring
 	// Obs is the shared observability scope; nil observes into a private
 	// registry.
 	Obs *obs.Observer
@@ -139,6 +146,7 @@ type Manager struct {
 	protocol    Protocol
 	keepHistory bool
 	sequential  bool
+	placement   *placement.Ring // nil = full replication
 	obs         *obs.Observer
 
 	propagations *obs.Counter
@@ -170,9 +178,18 @@ type replicaState struct {
 
 type txChanges struct {
 	created map[object.ID]Info
+	remote  map[object.ID]remoteCreate
 	deleted map[object.ID]struct{}
 	updated map[object.ID]struct{}
 	order   []object.ID // deterministic propagation order
+}
+
+// remoteCreate is a creation coordinated by a node outside the object's
+// replica group: the entity never enters the local registry or replica
+// table, it only rides the commit batch to the group's members.
+type remoteCreate struct {
+	entity *object.Entity
+	info   Info
 }
 
 var _ tx.Resource = (*Manager)(nil)
@@ -192,6 +209,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		protocol:    cfg.Protocol,
 		keepHistory: cfg.KeepHistory,
 		sequential:  cfg.Sequential,
+		placement:   cfg.Placement,
 		obs:         cfg.Obs,
 		meta:        make(map[object.ID]*replicaState),
 		tombstones:  make(map[object.ID]VersionVector),
@@ -272,6 +290,83 @@ func (m *Manager) Degraded() bool { return m.gms.Degraded(m.self) }
 // view returns this node's current view.
 func (m *Manager) view() group.View { return m.gms.ViewOf(m.self) }
 
+// Placement returns the sharding ring, nil under full replication.
+func (m *Manager) Placement() *placement.Ring { return m.placement }
+
+// viewFor returns the view a protocol decision about the object consults:
+// the full node view under full replication, the view filtered to the
+// object's replica group under sharded placement. Group-local views keep
+// every protocol's reachable-replica arithmetic confined to the group, so a
+// partition that leaves the group intact does not degrade its objects.
+func (m *Manager) viewFor(info Info) group.View {
+	if m.placement == nil {
+		return m.view()
+	}
+	return m.gms.FilteredView(m.self, info.Replicas)
+}
+
+// weightFor returns the partition weight a protocol decision about the
+// object consults: system-wide under full replication, group-local under
+// sharded placement.
+func (m *Manager) weightFor(info Info) float64 {
+	if m.placement == nil {
+		return m.gms.PartitionWeight(m.self)
+	}
+	return m.gms.PartitionWeightWithin(m.self, info.Replicas)
+}
+
+// effectiveDegraded narrows the commit-wide degraded verdict to the object's
+// replica group: under placement, degraded-mode history is keyed to whether
+// the object's own group is split, not the whole cluster.
+func (m *Manager) effectiveDegraded(info Info, global bool) bool {
+	if m.placement == nil {
+		return global
+	}
+	return m.gms.DegradedWithin(m.self, info.Replicas)
+}
+
+// placedInfo derives an object's replica metadata from the placement ring.
+// The ring is deterministic over the object ID, so every node derives the
+// same Info without ever having seen the object. preferred keeps the
+// creating node as home when it is part of the replica set (matching the
+// seed's creator-is-home behaviour); otherwise the group's first-preference
+// node is the home.
+func (m *Manager) placedInfo(id object.ID, preferred transport.NodeID) Info {
+	_, replicas := m.placement.Place(id)
+	home := replicas[0]
+	if preferred != "" {
+		for _, r := range replicas {
+			if r == preferred {
+				home = preferred
+				break
+			}
+		}
+	}
+	return NewInfo(home, replicas)
+}
+
+// infoFor resolves the replica placement of an object for routing: recorded
+// metadata first, the placement ring as fallback. Under full replication
+// there is no fallback — metadata is the only source.
+func (m *Manager) infoFor(id object.ID) (Info, error) {
+	m.mu.Lock()
+	rs, ok := m.meta[id]
+	m.mu.Unlock()
+	if ok {
+		return rs.info, nil
+	}
+	if m.placement != nil {
+		return m.placedInfo(id, ""), nil
+	}
+	return Info{}, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+}
+
+// RouteInfo returns the replica placement to route an invocation on the
+// object: like Info, but under sharded placement a node outside the object's
+// group (which never received the create metadata) derives the placement
+// from the ring instead of failing.
+func (m *Manager) RouteInfo(id object.ID) (Info, error) { return m.infoFor(id) }
+
 // Info returns the replica placement of an object.
 func (m *Manager) Info(id object.ID) (Info, error) {
 	m.mu.Lock()
@@ -318,23 +413,25 @@ func (m *Manager) ClearHistory() {
 }
 
 // Coordinator returns the node that must coordinate a write on the object in
-// this node's current view.
+// this node's current view (group-local under sharded placement).
 func (m *Manager) Coordinator(id object.ID) (transport.NodeID, error) {
-	info, err := m.Info(id)
+	info, err := m.infoFor(id)
 	if err != nil {
 		return "", err
 	}
-	return m.protocol.Coordinator(info, m.view())
+	return m.protocol.Coordinator(info, m.viewFor(info))
 }
 
 // CheckWrite reports whether the protocol permits a write on the object from
-// this node's partition.
+// this node's partition. Under sharded placement both the view and the
+// partition weight are group-local: a quorum protocol, for example, demands
+// a quorum of the object's replica group, not of the whole cluster.
 func (m *Manager) CheckWrite(id object.ID) error {
-	info, err := m.Info(id)
+	info, err := m.infoFor(id)
 	if err != nil {
 		return err
 	}
-	return m.protocol.WriteAllowed(info, m.view(), m.gms.PartitionWeight(m.self))
+	return m.protocol.WriteAllowed(info, m.viewFor(info), m.weightFor(info))
 }
 
 // Lookup resolves an object for reading, preferring the local replica (reads
@@ -351,9 +448,19 @@ func (m *Manager) Lookup(ctx context.Context, id object.ID) (*object.Entity, con
 	est := m.estimator
 	m.mu.Unlock()
 	if !known {
-		return nil, constraint.Staleness{}, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+		// Under sharded placement a node outside the object's group holds no
+		// metadata; the ring supplies it so the read can be fetched from the
+		// group. A group member without metadata has genuinely never seen the
+		// object.
+		if m.placement == nil {
+			return nil, constraint.Staleness{}, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+		}
+		info = m.placedInfo(id, "")
+		if info.HasReplica(m.self) {
+			return nil, constraint.Staleness{}, fmt.Errorf("%w: %s", ErrUnknownObject, id)
+		}
 	}
-	view := m.view()
+	view := m.viewFor(info)
 	stale := m.protocol.PossiblyStale(info, view)
 	if info.HasReplica(m.self) {
 		e, err := m.registry.Get(id)
@@ -409,15 +516,38 @@ func (m *Manager) Objects() []object.ID {
 
 // Create materialises a new replicated entity. The creation is propagated to
 // the reachable replica nodes at transaction commit; unreachable replicas
-// catch up during reconciliation.
+// catch up during reconciliation. Under sharded placement the caller's Info
+// is overridden by the ring (the creating node stays home when it is part of
+// the object's replica group); otherwise the caller's Info is normalized and
+// recorded as-is.
 func (m *Manager) Create(t *tx.Tx, e *object.Entity, info Info) error {
-	if len(info.Replicas) == 0 {
-		info.Replicas = []transport.NodeID{info.Home}
+	if m.placement != nil {
+		preferred := info.Home
+		if preferred == "" {
+			preferred = m.self
+		}
+		info = m.placedInfo(e.ID(), preferred)
+		if !info.HasReplica(m.self) {
+			// A node outside the object's replica group coordinates the
+			// creation but keeps no replica state: the entity ships to the
+			// group at commit and this node forgets it. Later reads route
+			// through the ring, which derives the same placement.
+			m.mu.Lock()
+			ch := m.changes(t)
+			ch.remote[e.ID()] = remoteCreate{entity: e, info: info}
+			ch.order = append(ch.order, e.ID())
+			m.mu.Unlock()
+			return nil
+		}
+	} else {
+		if len(info.Replicas) == 0 {
+			info.Replicas = []transport.NodeID{info.Home}
+		}
+		if info.Home == "" {
+			info.Home = m.self
+		}
+		info = NewInfo(info.Home, info.Replicas)
 	}
-	if info.Home == "" {
-		info.Home = m.self
-	}
-	sort.Slice(info.Replicas, func(i, j int) bool { return info.Replicas[i] < info.Replicas[j] })
 	if info.HasReplica(m.self) {
 		if err := m.registry.Add(e); err != nil {
 			return fmt.Errorf("replication: create %s: %w", e.ID(), err)
@@ -484,6 +614,9 @@ func (m *Manager) MarkDirty(t *tx.Tx, id object.ID) {
 	if _, created := ch.created[id]; created {
 		return // creation already ships the final state
 	}
+	if _, created := ch.remote[id]; created {
+		return // remote creation snapshots the entity at commit
+	}
 	if _, seen := ch.updated[id]; seen {
 		return
 	}
@@ -497,6 +630,7 @@ func (m *Manager) changes(t *tx.Tx) *txChanges {
 	if !ok {
 		ch = &txChanges{
 			created: make(map[object.ID]Info),
+			remote:  make(map[object.ID]remoteCreate),
 			deleted: make(map[object.ID]struct{}),
 			updated: make(map[object.ID]struct{}),
 		}
@@ -547,6 +681,9 @@ func (m *Manager) commitSequential(ctx context.Context, ch *txChanges, view grou
 			err = m.propagateDelete(ctx, id, view)
 		} else if info, isCreate := ch.created[id]; isCreate {
 			err = m.propagateCreate(ctx, id, info, view, degraded)
+		} else if rc, isRemote := ch.remote[id]; isRemote {
+			op, dests := m.stageCreateRemote(rc, view)
+			m.countSendFailures(m.comm.Multicast(ctx, m.self, dests, msgCreate, op.Create))
 		} else {
 			err = m.propagateUpdate(ctx, id, view, degraded)
 		}
@@ -579,14 +716,16 @@ func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.V
 			ship  bool
 			err   error
 		)
-		// replicas defaults to the view size: deletes address every view
-		// member because their replica set is already gone from meta.
-		replicas := len(view.Members)
+		var replicas int
 		if _, isDelete := ch.deleted[id]; isDelete {
-			op, dests, ship = m.stageDelete(id, view)
+			op, dests, replicas, ship = m.stageDelete(id, view)
 		} else if info, isCreate := ch.created[id]; isCreate {
 			op, dests, ship, err = m.stageCreate(id, info, view, degraded)
 			replicas = len(info.Replicas)
+		} else if rc, isRemote := ch.remote[id]; isRemote {
+			op, dests = m.stageCreateRemote(rc, view)
+			replicas = len(rc.info.Replicas)
+			ship = true
 		} else {
 			var info Info
 			op, info, dests, ship, err = m.stageUpdate(id, view, degraded)
@@ -606,7 +745,8 @@ func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.V
 	}
 	// The per-destination replica sets are computed once: each destination
 	// receives one message holding only the ops whose objects it replicates
-	// (deletes address every view member, as in the per-object path).
+	// (deletes address every view member under full replication, the
+	// ring-derived replica group under sharded placement).
 	perDest := make(map[transport.NodeID][]batchOp)
 	var dests []transport.NodeID
 	for _, s := range staged {
@@ -687,8 +827,26 @@ func (m *Manager) stageCreate(id object.ID, info Info, view group.View, degraded
 	if err := m.store.Put(tableReplicaMeta, string(id), msg); err != nil {
 		return batchOp{}, nil, false, err
 	}
-	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, m.effectiveDegraded(info, degraded))
 	return batchOp{Kind: msgCreate, Create: msg}, info.reachableReplicas(view), true, nil
+}
+
+// stageCreateRemote builds the create batch op for an object this node does
+// not replicate: the entity never touched the registry or replica table, so
+// the staged message carries the transaction's entity directly and no local
+// bookkeeping (metadata, persistence, history) takes place. The version
+// vector starts at one creation event from the coordinator, matching what a
+// member creator's bumped vector would carry.
+func (m *Manager) stageCreateRemote(rc remoteCreate, view group.View) (batchOp, []transport.NodeID) {
+	msg := createMsg{
+		ID:      rc.entity.ID(),
+		Class:   rc.entity.Class(),
+		State:   rc.entity.Snapshot(),
+		Version: rc.entity.Version(),
+		VV:      VersionVector{m.self: 1},
+		Info:    rc.info,
+	}
+	return batchOp{Kind: msgCreate, Create: msg}, rc.info.reachableReplicas(view)
 }
 
 // stageUpdate performs the sender-side bookkeeping of propagateUpdate and
@@ -713,23 +871,35 @@ func (m *Manager) stageUpdate(id object.ID, view group.View, degraded bool) (bat
 	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
 		return batchOp{}, Info{}, nil, false, err
 	}
-	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, m.effectiveDegraded(info, degraded))
 	m.observe(id)
 	return batchOp{Kind: msgApply, Apply: msg}, info, info.reachableReplicas(view), true, nil
 }
 
+// deleteDests computes the destinations and replica count of a delete, whose
+// replica set is already gone from meta: every view member under full
+// replication, the ring-derived group (which any node can recompute) under
+// sharded placement.
+func (m *Manager) deleteDests(id object.ID, view group.View) ([]transport.NodeID, int) {
+	if m.placement == nil {
+		return view.Members, len(view.Members)
+	}
+	info := m.placedInfo(id, "")
+	return info.reachableReplicas(view), len(info.Replicas)
+}
+
 // stageDelete performs the sender-side bookkeeping of propagateDelete; ship
 // is false when the tombstone is already gone (nothing to send).
-func (m *Manager) stageDelete(id object.ID, view group.View) (batchOp, []transport.NodeID, bool) {
+func (m *Manager) stageDelete(id object.ID, view group.View) (batchOp, []transport.NodeID, int, bool) {
 	m.mu.Lock()
 	vv, ok := m.tombstones[id]
 	m.mu.Unlock()
 	if !ok {
-		return batchOp{}, nil, false
+		return batchOp{}, nil, 0, false
 	}
 	m.store.Delete(tableReplicaMeta, string(id))
-	// The replica set is gone from meta; address everyone in the view.
-	return batchOp{Kind: msgDelete, Delete: deleteMsg{ID: id, VV: vv.Clone()}}, view.Members, true
+	dests, replicas := m.deleteDests(id, view)
+	return batchOp{Kind: msgDelete, Delete: deleteMsg{ID: id, VV: vv.Clone()}}, dests, replicas, true
 }
 
 // WaitPropagation blocks until every background straggler send of earlier
@@ -766,7 +936,7 @@ func (m *Manager) propagateCreate(ctx context.Context, id object.ID, info Info, 
 	if err := m.store.Put(tableReplicaMeta, string(id), msg); err != nil {
 		return err
 	}
-	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, m.effectiveDegraded(info, degraded))
 	// Unreachable replicas catch up during reconciliation.
 	m.countSendFailures(m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgCreate, msg))
 	return nil
@@ -790,7 +960,7 @@ func (m *Manager) propagateUpdate(ctx context.Context, id object.ID, view group.
 	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
 		return err
 	}
-	m.recordHistory(id, msg.State, msg.Version, msg.VV, degraded)
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, m.effectiveDegraded(info, degraded))
 	m.observe(id)
 	m.countSendFailures(m.comm.Multicast(ctx, m.self, info.reachableReplicas(view), msgApply, msg))
 	return nil
@@ -799,18 +969,14 @@ func (m *Manager) propagateUpdate(ctx context.Context, id object.ID, view group.
 func (m *Manager) propagateDelete(ctx context.Context, id object.ID, view group.View) error {
 	m.mu.Lock()
 	vv, ok := m.tombstones[id]
-	var infoReplicas []transport.NodeID
-	if ok {
-		// The replica set is gone from meta; send to everyone in the view.
-		infoReplicas = view.Members
-	}
 	m.mu.Unlock()
 	if !ok {
 		return nil
 	}
 	m.store.Delete(tableReplicaMeta, string(id))
+	dests, _ := m.deleteDests(id, view)
 	msg := deleteMsg{ID: id, VV: vv.Clone()}
-	m.countSendFailures(m.comm.Multicast(ctx, m.self, infoReplicas, msgDelete, msg))
+	m.countSendFailures(m.comm.Multicast(ctx, m.self, dests, msgDelete, msg))
 	return nil
 }
 
@@ -1056,21 +1222,43 @@ func (m *Manager) handleFetch(from transport.NodeID, payload any) (any, error) {
 	}
 	m.mu.Lock()
 	rs, known := m.meta[id]
-	stale := known && m.protocol.PossiblyStale(rs.info, m.view())
+	var info Info
+	if known {
+		info = rs.info
+	}
 	m.mu.Unlock()
+	stale := known && m.protocol.PossiblyStale(info, m.viewFor(info))
 	return fetchReply{Class: e.Class(), State: e.Snapshot(), Version: e.Version(), Stale: stale}, nil
 }
 
 func (m *Manager) handlePull(from transport.NodeID, payload any) (any, error) {
+	if m.placement != nil {
+		// Sharded reconciliation: the pulling peer only cares about the
+		// objects it replicates — heal pulls iterate group-resident objects,
+		// not the whole namespace.
+		return m.RecordsFor(from), nil
+	}
 	return m.Records(), nil
 }
 
 // Records exports this node's full replica table for reconciliation.
 func (m *Manager) Records() []Record {
+	return m.records(func(Info) bool { return true })
+}
+
+// RecordsFor exports the subset of the replica table whose objects the peer
+// replicates — what a sharded reconciliation pull from that peer returns.
+func (m *Manager) RecordsFor(peer transport.NodeID) []Record {
+	return m.records(func(info Info) bool { return info.HasReplica(peer) })
+}
+
+func (m *Manager) records(keep func(Info) bool) []Record {
 	m.mu.Lock()
 	ids := make([]object.ID, 0, len(m.meta))
 	for id := range m.meta {
-		ids = append(ids, id)
+		if keep(m.meta[id].info) {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	recs := make([]Record, 0, len(ids))

@@ -26,6 +26,7 @@ package replication
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"dedisys/internal/group"
 	"dedisys/internal/object"
@@ -52,6 +53,27 @@ type Info struct {
 	Replicas []transport.NodeID `json:"replicas"`
 }
 
+// NewInfo builds a normalized Info: the replica set is deduplicated and
+// sorted. Every producer of placement metadata — the manager's Create path,
+// placement-derived Infos and tests — goes through this constructor, so the
+// "Replicas is sorted" property downstream code relies on (temporary-primary
+// election picks reachableReplicas[0]; every node must pick the same one) is
+// enforced rather than assumed. Home is not implicitly added to the replica
+// set: a caller may deliberately designate a non-hosting home.
+func NewInfo(home transport.NodeID, replicas []transport.NodeID) Info {
+	out := make([]transport.NodeID, 0, len(replicas))
+	seen := make(map[transport.NodeID]struct{}, len(replicas))
+	for _, r := range replicas {
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return Info{Home: home, Replicas: out}
+}
+
 // HasReplica reports whether a node hosts a copy.
 func (i Info) HasReplica(n transport.NodeID) bool {
 	for _, r := range i.Replicas {
@@ -62,8 +84,11 @@ func (i Info) HasReplica(n transport.NodeID) bool {
 	return false
 }
 
-// reachableReplicas returns the replica nodes present in the view, sorted
-// (Info.Replicas and View.Members are sorted by construction).
+// reachableReplicas returns the replica nodes present in the view, sorted.
+// View.Members are sorted by construction; Info literals are normalized
+// through NewInfo when the manager first records them, so the sorted order
+// holds for every Info the protocols see even when a caller hands the
+// manager an unsorted Replicas slice.
 func (i Info) reachableReplicas(view group.View) []transport.NodeID {
 	var out []transport.NodeID
 	for _, r := range i.Replicas {

@@ -241,7 +241,9 @@ func (m *Manager) resolveConflict(ctx context.Context, rec Record, resolve Confl
 }
 
 // pushMissing creates, on the peer, objects it has never seen (created in
-// our partition during the split).
+// our partition during the split). Under sharded placement only objects the
+// peer replicates are pushed: a heal between nodes of different groups moves
+// no object state.
 func (m *Manager) pushMissing(ctx context.Context, peer transport.NodeID, peerRecords []Record, report *ReconcileReport) error {
 	seen := make(map[object.ID]struct{}, len(peerRecords))
 	for _, rec := range peerRecords {
@@ -250,6 +252,9 @@ func (m *Manager) pushMissing(ctx context.Context, peer transport.NodeID, peerRe
 	m.mu.Lock()
 	var missing []object.ID
 	for id := range m.meta {
+		if m.placement != nil && !m.meta[id].info.HasReplica(peer) {
+			continue
+		}
 		if _, ok := seen[id]; !ok {
 			missing = append(missing, id)
 		}

@@ -7,10 +7,12 @@
 //
 // Script language (one command per line, '#' starts a comment):
 //
-//	cluster N [p4|primary-backup|primary-partition|adaptive-voting] [detector[=fixed|phi]]
+//	cluster N [p4|primary-backup|primary-partition|adaptive-voting|quorum[=K]]
+//	        [detector[=fixed|phi]] [groups=G] [rf=R]
 //	    detector runs heartbeat failure detection instead of the topology
 //	    oracle: views lag real failures and scripts must 'sleep' or 'await'
-//	    before asserting on modes
+//	    before asserting on modes; groups=G shards the object space across G
+//	    replica groups of rf=R nodes each (default: full replication)
 //	constraint NAME TYPE PRIORITY MINDEGREE EXPR...
 //	    TYPE: PRE POST HARD SOFT ASYNC; PRIORITY: CRITICAL RELAXABLE;
 //	    MINDEGREE: a satisfaction degree; EXPR: declarative expression over
@@ -28,6 +30,7 @@
 //	sleep DURATION                  wait (e.g. 50ms; lets detectors observe)
 //	await NODE healthy|degraded [TIMEOUT]
 //	    poll until the node reaches the mode (default timeout 2s)
+//	placement                       print the group→replica assignment
 //	metric PREFIX                   print metrics whose name contains PREFIX
 //	echo TEXT...                    print
 package script
@@ -106,6 +109,11 @@ type Engine struct {
 	// 'cluster' defaults to when the script names none (the CLI's
 	// -protocol/-quorum-threshold flags). Script tokens still win.
 	Protocol replication.Protocol
+	// Groups and ReplicationFactor, when set before Run, shard the object
+	// space the way a script's groups=G/rf=R cluster tokens do (the CLI's
+	// -groups/-replication-factor flags). Script tokens still win.
+	Groups            int
+	ReplicationFactor int
 
 	cluster     *node.Cluster
 	constraints []constraint.Configured
@@ -195,6 +203,8 @@ func (e *Engine) exec(cmd Command) error {
 		return e.cmdSleep(cmd.Args)
 	case "await":
 		return e.cmdAwait(cmd.Args)
+	case "placement":
+		return e.cmdPlacement()
 	case "metric":
 		return e.cmdMetric(cmd.Args)
 	case "echo":
@@ -203,6 +213,20 @@ func (e *Engine) exec(cmd Command) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd.Op)
 	}
+}
+
+// cmdPlacement prints the sharded group→replica assignment, or notes full
+// replication when the cluster runs without a placement ring.
+func (e *Engine) cmdPlacement() error {
+	if err := e.needCluster(); err != nil {
+		return err
+	}
+	if e.cluster.Ring == nil {
+		fmt.Fprintln(e.Out, "full replication (no placement ring)")
+		return nil
+	}
+	fmt.Fprint(e.Out, e.cluster.Ring.Describe())
+	return nil
 }
 
 func (e *Engine) needCluster() error {
@@ -239,6 +263,7 @@ func (e *Engine) cmdCluster(args []string) error {
 		proto = replication.PrimaryPerPartition{}
 	}
 	detectCfg := e.Detect
+	groups, rf := e.Groups, e.ReplicationFactor
 	for _, a := range args[1:] {
 		switch {
 		case a == "p4":
@@ -268,6 +293,18 @@ func (e *Engine) cmdCluster(args []string) error {
 			cfg := *detectCfg
 			cfg.Policy = detect.PhiAccrual{}
 			detectCfg = &cfg
+		case strings.HasPrefix(a, "groups="):
+			g, err := strconv.Atoi(strings.TrimPrefix(a, "groups="))
+			if err != nil || g < 1 {
+				return fmt.Errorf("invalid group count %q", a)
+			}
+			groups = g
+		case strings.HasPrefix(a, "rf="):
+			r, err := strconv.Atoi(strings.TrimPrefix(a, "rf="))
+			if err != nil || r < 1 {
+				return fmt.Errorf("invalid replication factor %q", a)
+			}
+			rf = r
 		default:
 			return fmt.Errorf("unknown cluster option %q", a)
 		}
@@ -279,6 +316,8 @@ func (e *Engine) cmdCluster(args []string) error {
 		o.Obs = e.Obs
 		o.Detect = detectCfg
 		o.SequentialPropagation = e.SequentialPropagation
+		o.Groups = groups
+		o.ReplicationFactor = rf
 	})
 	if err != nil {
 		return err
@@ -304,12 +343,16 @@ func (e *Engine) cmdCluster(args []string) error {
 		}
 	}
 	e.cluster = c
+	desc := proto.Name()
+	if c.Ring != nil {
+		desc = fmt.Sprintf("%s, %d groups x %d replicas", desc, c.Ring.Groups(), c.Ring.ReplicationFactor())
+	}
 	if detectCfg != nil {
 		d := c.Node(0).Detector
 		fmt.Fprintf(e.Out, "cluster of %d nodes (%s, %s detector, interval %s)\n",
-			size, proto.Name(), d.Policy().Name(), d.Interval())
+			size, desc, d.Policy().Name(), d.Interval())
 	} else {
-		fmt.Fprintf(e.Out, "cluster of %d nodes (%s)\n", size, proto.Name())
+		fmt.Fprintf(e.Out, "cluster of %d nodes (%s)\n", size, desc)
 	}
 	return nil
 }
