@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWireClusterSmoke is the multi-process smoke test of the real-wire
+// backend: it builds dedisys-node, launches a 3-process cluster over unix
+// sockets, creates an object, commits a quorum write with one node killed,
+// and verifies the restarted node converges through reconciliation.
+//
+// It runs when DEDISYS_WIRE_SMOKE=1 (the CI wire-smoke step sets it); the
+// plain test suite stays single-process.
+func TestWireClusterSmoke(t *testing.T) {
+	if os.Getenv("DEDISYS_WIRE_SMOKE") == "" {
+		t.Skip("set DEDISYS_WIRE_SMOKE=1 to run the multi-process smoke test")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "dedisys-node")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	peers := fmt.Sprintf("a=unix:%s,b=unix:%s,c=unix:%s",
+		filepath.Join(dir, "a.sock"), filepath.Join(dir, "b.sock"), filepath.Join(dir, "c.sock"))
+
+	a := startNode(t, bin, "a", peers)
+	b := startNode(t, bin, "b", peers)
+	c := startNode(t, bin, "c", peers)
+	a.expect(t, "ready")
+	b.expect(t, "ready")
+	c.expect(t, "ready")
+
+	// Create and write on the healthy cluster; the value must be readable
+	// from another process's replica.
+	a.send(t, "create acct-1 balance=100")
+	a.expect(t, "ok created acct-1")
+	a.send(t, "set acct-1 balance 150")
+	a.expect(t, "ok set acct-1.balance")
+	// A threshold commit returns once a strict majority acked; the last
+	// replica catches up through the background straggler send, so the
+	// remote read polls for convergence instead of asserting immediately.
+	c.expectEventually(t, "get acct-1 balance", "ok 150")
+
+	// Kill one replica. A strict-majority quorum commit (2 of 3, incl. the
+	// coordinator) must still succeed for the survivors.
+	c.kill(t)
+	a.send(t, "set acct-1 balance 200")
+	a.expect(t, "ok set acct-1.balance")
+	b.expectEventually(t, "get acct-1 balance", "ok 200")
+
+	// Restart the killed node on the same address (fresh process, empty
+	// state) and reconcile: it must adopt the object and converge on the
+	// quorum-committed value.
+	c2 := startNode(t, bin, "c", peers)
+	c2.expect(t, "ready")
+	c2.send(t, "reconcile")
+	line := c2.expect(t, "ok created=1")
+	if !strings.Contains(line, "conflicts=0") {
+		t.Fatalf("reconcile reported conflicts: %q", line)
+	}
+	c2.send(t, "get acct-1 balance")
+	c2.expect(t, "ok 200")
+
+	for _, p := range []*proc{a, b, c2} {
+		p.send(t, "exit")
+	}
+}
+
+// proc is one dedisys-node process under test: stdin for commands, stdout
+// drained into a line channel for expectations.
+type proc struct {
+	id    string
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines chan string
+}
+
+func startNode(t *testing.T, bin, id, peers string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, "-id", id, "-peers", peers, "-protocol", "quorum")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start node %s: %v", id, err)
+	}
+	p := &proc{id: id, cmd: cmd, stdin: stdin, lines: make(chan string, 64)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.lines <- sc.Text()
+		}
+		close(p.lines)
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return p
+}
+
+func (p *proc) send(t *testing.T, line string) {
+	t.Helper()
+	if _, err := io.WriteString(p.stdin, line+"\n"); err != nil {
+		t.Fatalf("node %s: send %q: %v", p.id, line, err)
+	}
+}
+
+// expect waits for the next output line and requires the given prefix,
+// returning the full line.
+func (p *proc) expect(t *testing.T, prefix string) string {
+	t.Helper()
+	select {
+	case line, ok := <-p.lines:
+		if !ok {
+			t.Fatalf("node %s: exited while waiting for %q", p.id, prefix)
+		}
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("node %s: got %q, want prefix %q", p.id, line, prefix)
+		}
+		return line
+	case <-time.After(60 * time.Second):
+		t.Fatalf("node %s: timeout waiting for %q", p.id, prefix)
+	}
+	return ""
+}
+
+// expectEventually re-issues a command until its response carries the
+// wanted prefix — for reads racing a threshold commit's background
+// straggler propagation.
+func (p *proc) expectEventually(t *testing.T, command, prefix string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		p.send(t, command)
+		line, ok := <-p.lines
+		if !ok {
+			t.Fatalf("node %s: exited while polling for %q", p.id, prefix)
+		}
+		if strings.HasPrefix(line, prefix) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s: %q never answered %q (last: %q)", p.id, command, prefix, line)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (p *proc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill node %s: %v", p.id, err)
+	}
+	p.cmd.Wait()
+}

@@ -230,6 +230,7 @@ func Registry() []Experiment {
 		{ID: "exp-batch", Title: "Commit fan-out: batched vs per-object propagation (K dirty objects)", Run: runCommitFanOut},
 		{ID: "exp-quorum", Title: "Quorum commit tail latency: threshold vs full round under per-link jitter", Run: runQuorumTail},
 		{ID: "exp-shard", Title: "Sharded placement: per-node replica footprint and commit fan-out vs full replication", Run: runShard},
+		{ID: "exp-wire", Title: "Real-wire backend: commit latency over unix sockets vs the simulated hop", Run: runWire},
 	}
 }
 

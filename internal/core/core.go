@@ -118,7 +118,7 @@ type Stats struct {
 // Config assembles a CCMgr's dependencies.
 type Config struct {
 	Self     transport.NodeID
-	Net      *transport.Network
+	Net      transport.Transport
 	GMS      *group.Membership
 	Registry *object.Registry
 	Repl     *replication.Manager
@@ -138,7 +138,7 @@ type Config struct {
 // Manager is the constraint consistency manager.
 type Manager struct {
 	self             transport.NodeID
-	net              *transport.Network
+	net              transport.Transport
 	gms              *group.Membership
 	registry         *object.Registry
 	repl             *replication.Manager

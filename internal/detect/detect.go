@@ -4,7 +4,7 @@
 // which constraint validation runs against a stale view — whereas the
 // topology oracle in package group computes perfect views instantly from
 // the simulated network. This detector closes that gap: every node
-// periodically multicasts heartbeats over transport.Network, so heartbeats
+// periodically multicasts heartbeats over the transport, so heartbeats
 // are subject to the same drops, latency, partitions and crashes as any
 // other message, and each node derives its view locally from heartbeat
 // freshness. Views therefore lag topology changes, may disagree between
@@ -89,7 +89,8 @@ func WithObserver(o *obs.Observer) Option {
 // views through Self/Current/OnChange.
 type Detector struct {
 	self     transport.NodeID
-	net      *transport.Network
+	net      transport.Transport
+	truth    transport.Oracle // nil on transports without a topology oracle
 	policy   Policy
 	interval time.Duration
 	obs      *obs.Observer
@@ -132,8 +133,12 @@ type peerState struct {
 }
 
 // New creates a detector for self and registers its heartbeat handler on the
-// network. Call Start to begin heartbeating.
-func New(net *transport.Network, self transport.NodeID, cfg Config, opts ...Option) (*Detector, error) {
+// transport. Call Start to begin heartbeating. When the transport also
+// provides the simulation-only ground-truth Oracle, the detector keeps a
+// topology shadow for metric attribution (false suspicions, detection and
+// rejoin latency); on a real-wire transport those metrics are simply not
+// recorded — detection decisions never read the ground truth either way.
+func New(net transport.Transport, self transport.NodeID, cfg Config, opts ...Option) (*Detector, error) {
 	cfg = cfg.normalize()
 	d := &Detector{
 		self:     self,
@@ -145,6 +150,7 @@ func New(net *transport.Network, self transport.NodeID, cfg Config, opts ...Opti
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	d.truth, _ = net.(transport.Oracle)
 	d.ctx, d.cancel = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o(d)
@@ -160,8 +166,11 @@ func New(net *transport.Network, self transport.NodeID, cfg Config, opts ...Opti
 	if err := net.Handle(self, MsgHeartbeat, d.handleHeartbeat); err != nil {
 		return nil, fmt.Errorf("detect: register heartbeat handler: %w", err)
 	}
-	// Shadow topology changes for metric attribution (ground truth only).
-	net.Watch(func(int64) { d.syncTruth(time.Now()) })
+	// Shadow topology changes for metric attribution (ground truth only;
+	// transports without an oracle have no truth to shadow).
+	if d.truth != nil {
+		net.Watch(func(int64) { d.syncTruth(time.Now()) })
+	}
 	return d, nil
 }
 
@@ -345,10 +354,12 @@ func (d *Detector) evaluate(now time.Time) {
 		changed = true
 		d.suspicions.Inc()
 		falsely := ps.truthReachable
-		if falsely {
-			d.falseSuspicions.Inc()
-		} else if lat := now.Sub(ps.truthSince); lat > 0 {
-			d.detectionLatency.Observe(lat)
+		if d.truth != nil {
+			if falsely {
+				d.falseSuspicions.Inc()
+			} else if lat := now.Sub(ps.truthSince); lat > 0 {
+				d.detectionLatency.Observe(lat)
+			}
 		}
 		if d.obs.Tracing() {
 			d.obs.Emit(obs.EventSuspicion, fmt.Sprintf("%s suspects %s (%s, false=%t)", d.self, peer, d.policy.Name(), falsely))
@@ -370,9 +381,11 @@ func (d *Detector) ensurePeerLocked(peer transport.NodeID, now time.Time) *peerS
 	ps, ok := d.peers[peer]
 	if !ok {
 		ps = &peerState{
-			mon:            d.policy.Monitor(d.interval),
-			truthReachable: d.net.Reachable(d.self, peer),
-			truthSince:     now,
+			mon:        d.policy.Monitor(d.interval),
+			truthSince: now,
+		}
+		if d.truth != nil {
+			ps.truthReachable = d.truth.Reachable(d.self, peer)
 		}
 		ps.mon.Observe(now)
 		d.peers[peer] = ps
@@ -382,12 +395,13 @@ func (d *Detector) ensurePeerLocked(peer transport.NodeID, now time.Time) *peerS
 }
 
 // syncTruth refreshes the ground-truth reachability shadow of every
-// monitored peer after a topology change (metric attribution only).
+// monitored peer after a topology change (metric attribution only; never
+// registered on transports without an Oracle).
 func (d *Detector) syncTruth(now time.Time) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for peer, ps := range d.peers {
-		r := d.net.Reachable(d.self, peer)
+		r := d.truth.Reachable(d.self, peer)
 		if r != ps.truthReachable {
 			ps.truthReachable = r
 			ps.truthSince = now

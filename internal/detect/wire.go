@@ -1,0 +1,9 @@
+package detect
+
+import "encoding/gob"
+
+// Wire payload registration: heartbeats are the only detector payload.
+// Each package registers exactly the types it owns.
+func init() {
+	gob.Register(Heartbeat{})
+}

@@ -1,0 +1,20 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"dedisys/internal/transport"
+	"dedisys/internal/wiretransport"
+)
+
+func TestWireCodecHeartbeat(t *testing.T) {
+	hb := Heartbeat{Seq: 42, Known: []transport.NodeID{"a", "b", "c"}}
+	out, err := wiretransport.RoundTrip(hb)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !reflect.DeepEqual(out, hb) {
+		t.Fatalf("round trip:\n sent %#v\n got  %#v", hb, out)
+	}
+}

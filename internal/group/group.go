@@ -95,7 +95,8 @@ type ViewSource interface {
 // topology oracle (default: views recomputed from the simulated network on
 // every topology change) or by per-node failure detectors (WithDetector).
 type Membership struct {
-	net    *transport.Network
+	net    transport.Transport
+	truth  transport.Oracle // nil when the transport has no topology oracle
 	obs    *obs.Observer
 	oracle bool
 
@@ -131,9 +132,16 @@ func WithDetector(srcs ...ViewSource) Option {
 	}
 }
 
-// NewMembership creates a membership service bound to the network. Node
+// NewMembership creates a membership service bound to the transport. Node
 // weights default to 1; override them with SetWeight before partitioning.
-func NewMembership(net *transport.Network, opts ...Option) *Membership {
+//
+// In the default topology-oracle mode the transport is type-asserted for
+// transport.Oracle (the simulated Network): views are then recomputed from
+// the ground truth on every topology change. A transport without an oracle —
+// the real-wire backend — falls back to static full views (every node sees
+// every joined node); entering degraded mode on such a transport requires
+// detector-driven membership (WithDetector).
+func NewMembership(net transport.Transport, opts ...Option) *Membership {
 	m := &Membership{
 		net:       net,
 		oracle:    true,
@@ -148,6 +156,7 @@ func NewMembership(net *transport.Network, opts ...Option) *Membership {
 		m.obs = net.Observer()
 	}
 	m.viewChanges = m.obs.Counter("group.view_changes")
+	m.truth, _ = net.(transport.Oracle)
 	if m.oracle {
 		net.Watch(m.refresh)
 		m.refresh(net.Epoch())
@@ -344,13 +353,21 @@ func (m *Membership) applyLocked(id transport.NodeID, nv View) *change {
 
 // refresh recomputes every node's view from the topology oracle. All views
 // and the node universe are updated under one lock (a single consistent
-// snapshot); listeners run afterwards.
+// snapshot); listeners run afterwards. On a transport without a ground-truth
+// oracle every node's view is the full joined universe: a static-membership
+// wire transport reports no partitions by itself.
 func (m *Membership) refresh(epoch int64) {
 	var changes []*change
 	m.mu.Lock()
 	m.known = m.net.Nodes()
 	for _, id := range m.known {
-		nv := View{Epoch: epoch, Members: m.net.ReachableFrom(id)}
+		var members []transport.NodeID
+		if m.truth != nil {
+			members = m.truth.ReachableFrom(id)
+		} else {
+			members = append([]transport.NodeID(nil), m.known...)
+		}
+		nv := View{Epoch: epoch, Members: members}
 		if c := m.applyLocked(id, nv); c != nil {
 			changes = append(changes, c)
 		}
@@ -382,7 +399,7 @@ func (m *Membership) install(id transport.NodeID, epoch int64, members []transpo
 // Fan-out is concurrent through a bounded worker pool; results preserve the
 // destination order regardless of completion order.
 type Comm struct {
-	net     *transport.Network
+	net     transport.Transport
 	workers int
 	obs     *obs.Observer
 
@@ -411,8 +428,8 @@ func WithCommObserver(o *obs.Observer) CommOption {
 	return func(c *Comm) { c.obs = o }
 }
 
-// NewComm creates a group communication component over the network.
-func NewComm(net *transport.Network, opts ...CommOption) *Comm {
+// NewComm creates a group communication component over the transport.
+func NewComm(net transport.Transport, opts ...CommOption) *Comm {
 	c := &Comm{net: net, workers: runtime.GOMAXPROCS(0)}
 	for _, o := range opts {
 		o(c)

@@ -67,7 +67,7 @@ func supersedes(incoming, existing binding) bool {
 // Service is the per-node naming service.
 type Service struct {
 	self  transport.NodeID
-	net   *transport.Network
+	net   transport.Transport
 	gms   *group.Membership
 	comm  *group.Comm
 	place *placement.Ring // nil under full replication
@@ -88,7 +88,7 @@ func WithPlacement(r *placement.Ring) Option {
 }
 
 // New creates a naming service and registers its handlers.
-func New(self transport.NodeID, net *transport.Network, gms *group.Membership, opts ...Option) (*Service, error) {
+func New(self transport.NodeID, net transport.Transport, gms *group.Membership, opts ...Option) (*Service, error) {
 	s := &Service{
 		self:     self,
 		net:      net,

@@ -1,0 +1,11 @@
+package naming
+
+import "encoding/gob"
+
+// Wire payload registration: bind/unbind broadcasts carry bindMsg and the
+// sync pull reply carries the full binding table. Each package registers
+// exactly the types it owns.
+func init() {
+	gob.Register(bindMsg{})
+	gob.Register(map[string]binding{})
+}

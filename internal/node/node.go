@@ -44,7 +44,7 @@ var ErrNotCoordinator = errors.New("node: not the coordinator for this object")
 // Options configure one node.
 type Options struct {
 	ID  transport.NodeID
-	Net *transport.Network
+	Net transport.Transport
 	GMS *group.Membership
 
 	// Protocol selects the replica control protocol (default P4).
@@ -106,7 +106,7 @@ type Node struct {
 	Detector *detect.Detector // nil unless Options.Detect was set
 	Obs      *obs.Observer    // per-node scope over the shared registry/tracer
 
-	net   *transport.Network
+	net   transport.Transport
 	gms   *group.Membership
 	chain *invocation.Chain
 	cmp   *cmpResource

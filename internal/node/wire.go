@@ -1,0 +1,10 @@
+package node
+
+import "encoding/gob"
+
+// Wire payload registration: forwarded invocations (node.invoke) carry
+// remoteInvokePayload; forwarded deletes carry a bare object.ID, registered
+// by package object. Each package registers exactly the types it owns.
+func init() {
+	gob.Register(remoteInvokePayload{})
+}

@@ -1,0 +1,32 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+
+	"dedisys/internal/object"
+	"dedisys/internal/wiretransport"
+)
+
+func roundTripPayload(t *testing.T, payload any) {
+	t.Helper()
+	out, err := wiretransport.RoundTrip(payload)
+	if err != nil {
+		t.Fatalf("round trip %T: %v", payload, err)
+	}
+	if !reflect.DeepEqual(out, payload) {
+		t.Fatalf("round trip %T:\n sent %#v\n got  %#v", payload, payload, out)
+	}
+}
+
+func TestWireCodecNodePayloads(t *testing.T) {
+	// Forwarded invocations carry heterogeneous argument lists; every
+	// concrete argument type an application passes must survive the codec.
+	roundTripPayload(t, remoteInvokePayload{
+		Target: "acct-1",
+		Method: "Deposit",
+		Args:   []any{"alice", 42, 3.5, true, object.ID("acct-2")},
+	})
+	// Forwarded deletes ship the bare object ID.
+	roundTripPayload(t, object.ID("acct-1"))
+}

@@ -1,0 +1,13 @@
+package object
+
+import "encoding/gob"
+
+// Wire payload registration: object IDs travel inside interface-typed
+// payload slots (node.delete requests, repl.fetch requests, invocation
+// argument lists), so their concrete types must be known to gob. Each
+// package registers exactly the types it owns — duplicate registrations
+// panic at init.
+func init() {
+	gob.Register(ID(""))
+	gob.Register(State{})
+}

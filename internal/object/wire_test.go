@@ -1,0 +1,23 @@
+package object
+
+import (
+	"reflect"
+	"testing"
+
+	"dedisys/internal/wiretransport"
+)
+
+func TestWireCodecObjectPayloads(t *testing.T) {
+	for _, payload := range []any{
+		ID("acct-1"),
+		State{"name": "alice", "balance": 42.5, "visits": 7, "vip": true},
+	} {
+		out, err := wiretransport.RoundTrip(payload)
+		if err != nil {
+			t.Fatalf("round trip %T: %v", payload, err)
+		}
+		if !reflect.DeepEqual(out, payload) {
+			t.Fatalf("round trip %T:\n sent %#v\n got  %#v", payload, payload, out)
+		}
+	}
+}

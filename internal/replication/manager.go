@@ -110,7 +110,7 @@ type Estimator func(id object.ID, localVersion int64) int64
 // Config assembles a replication manager's dependencies.
 type Config struct {
 	Self     transport.NodeID
-	Net      *transport.Network
+	Net      transport.Transport
 	GMS      *group.Membership
 	Registry *object.Registry
 	Store    *persistence.Store
@@ -138,7 +138,7 @@ type Config struct {
 // are propagated synchronously to all reachable replicas at commit.
 type Manager struct {
 	self        transport.NodeID
-	net         *transport.Network
+	net         transport.Transport
 	gms         *group.Membership
 	comm        *group.Comm
 	registry    *object.Registry

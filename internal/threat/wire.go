@@ -1,0 +1,11 @@
+package threat
+
+import "encoding/gob"
+
+// Wire payload registration: the CCM replicates single threats
+// (ccm.threat.add) and full stores (ccm.threat.pull replies). Each package
+// registers exactly the types it owns.
+func init() {
+	gob.Register(Threat{})
+	gob.Register([]Threat(nil))
+}

@@ -1,0 +1,310 @@
+package wiretransport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dedisys/internal/transport"
+)
+
+// pair builds two started endpoints over unix sockets in a test temp dir.
+func pair(t *testing.T) (*Wire, *Wire) {
+	t.Helper()
+	dir := t.TempDir()
+	peers := map[transport.NodeID]string{
+		"a": "unix:" + filepath.Join(dir, "a.sock"),
+		"b": "unix:" + filepath.Join(dir, "b.sock"),
+	}
+	wa, err := New("a", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := New("b", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wa.Close(); wb.Close() })
+	return wa, wb
+}
+
+func TestRequestResponse(t *testing.T) {
+	wa, wb := pair(t)
+	if err := wb.Handle("b", "echo", func(from transport.NodeID, payload any) (any, error) {
+		return fmt.Sprintf("%s said %v", from, payload), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wa.Send(context.Background(), "a", "b", "echo", "hi")
+	if err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if resp != "a said hi" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if got := wa.Stats().Messages; got != 1 {
+		t.Fatalf("messages = %d, want 1", got)
+	}
+}
+
+func TestHandlerErrorCrossesWire(t *testing.T) {
+	wa, wb := pair(t)
+	wb.Handle("b", "fail", func(transport.NodeID, any) (any, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := wa.Send(context.Background(), "a", "b", "fail", nil)
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if errors.Is(err, transport.ErrUnreachable) {
+		t.Fatal("application error must not look unreachable")
+	}
+}
+
+func TestNoHandlerIsPermanent(t *testing.T) {
+	wa, _ := pair(t)
+	wa.SetRetry(transport.RetryPolicy{Attempts: 3})
+	_, err := wa.Send(context.Background(), "a", "b", "nosuch", nil)
+	if !errors.Is(err, transport.ErrNoHandler) {
+		t.Fatalf("err = %v, want ErrNoHandler", err)
+	}
+	if got := wa.Stats().Retries; got != 0 {
+		t.Fatalf("retries = %d, want 0 (ErrNoHandler is permanent)", got)
+	}
+}
+
+func TestContextDeadlineAbandonsRequest(t *testing.T) {
+	wa, wb := pair(t)
+	release := make(chan struct{})
+	wb.Handle("b", "slow", func(transport.NodeID, any) (any, error) {
+		<-release
+		return "late", nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := wa.Send(ctx, "a", "b", "slow", nil)
+	close(release)
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+}
+
+func TestDeadPeerFailsFastAndReconnects(t *testing.T) {
+	dir := t.TempDir()
+	peers := map[transport.NodeID]string{
+		"a": "unix:" + filepath.Join(dir, "a.sock"),
+		"b": "unix:" + filepath.Join(dir, "b.sock"),
+	}
+	wa, _ := New("a", peers)
+	if err := wa.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+
+	// Peer never started: immediate connection-refused as unreachable.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_, err := wa.Send(ctx, "a", "b", "echo", "x")
+	cancel()
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+
+	// Peer comes up: the next send dials fresh and succeeds.
+	wb, _ := New("b", peers)
+	if err := wb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wb.Handle("b", "echo", func(_ transport.NodeID, p any) (any, error) { return p, nil })
+	if _, err := wa.Send(context.Background(), "a", "b", "echo", "x"); err != nil {
+		t.Fatalf("send after peer start: %v", err)
+	}
+
+	// Peer dies: in-flight reconnect state must not wedge the sender.
+	wb.Close()
+	ctx, cancel = context.WithTimeout(context.Background(), time.Second)
+	_, err = wa.Send(ctx, "a", "b", "echo", "x")
+	cancel()
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err after peer close = %v, want ErrUnreachable", err)
+	}
+
+	// Peer restarts on the same address: reconnect without explicit rejoin.
+	wb2, _ := New("b", peers)
+	if err := wb2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wb2.Close()
+	wb2.Handle("b", "echo", func(_ transport.NodeID, p any) (any, error) { return p, nil })
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if _, lastErr = wa.Send(context.Background(), "a", "b", "echo", "x"); lastErr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("send after peer restart: %v", lastErr)
+	}
+}
+
+func TestRetryMasksTransientFailure(t *testing.T) {
+	dir := t.TempDir()
+	peers := map[transport.NodeID]string{
+		"a": "unix:" + filepath.Join(dir, "a.sock"),
+		"b": "unix:" + filepath.Join(dir, "b.sock"),
+	}
+	wa, _ := New("a", peers)
+	if err := wa.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+	wa.SetRetry(transport.RetryPolicy{Attempts: 40, Backoff: 25 * time.Millisecond})
+
+	// Start the peer concurrently with the first (failing) attempts: the
+	// retry policy must bridge the gap.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		wb, err := New("b", peers)
+		if err != nil {
+			return
+		}
+		wb.Handle("b", "echo", func(_ transport.NodeID, p any) (any, error) { return p, nil })
+		wb.Start()
+	}()
+	if _, err := wa.Send(context.Background(), "a", "b", "echo", "x"); err != nil {
+		t.Fatalf("send with retry: %v", err)
+	}
+	if wa.Stats().Retries == 0 {
+		t.Fatal("expected at least one retry")
+	}
+}
+
+func TestConcurrentCorrelation(t *testing.T) {
+	wa, wb := pair(t)
+	wb.Handle("b", "echo", func(_ transport.NodeID, p any) (any, error) {
+		time.Sleep(time.Duration(p.(int)%7) * time.Millisecond)
+		return p, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := wa.Send(context.Background(), "a", "b", "echo", i)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp != i {
+				errs <- fmt.Errorf("send %d got %v", i, resp)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticMembershipSurface(t *testing.T) {
+	wa, _ := pair(t)
+	nodes := wa.Nodes()
+	if len(nodes) != 2 || nodes[0] != "a" || nodes[1] != "b" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if err := wa.Join("a"); err != nil {
+		t.Fatalf("re-join configured node: %v", err)
+	}
+	if err := wa.Join("z"); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("join unknown = %v, want ErrUnknownNode", err)
+	}
+	if err := wa.Handle("b", "x", func(transport.NodeID, any) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("handler registration for a foreign node must fail")
+	}
+	if _, err := wa.Send(context.Background(), "b", "a", "x", nil); err == nil {
+		t.Fatal("send from a foreign identity must fail")
+	}
+	if wa.Epoch() != 1 {
+		t.Fatalf("epoch = %d", wa.Epoch())
+	}
+	// No oracle: the wire must not leak ground-truth topology.
+	if _, ok := any(wa).(transport.Oracle); ok {
+		t.Fatal("wire transport must not implement the simulation oracle")
+	}
+}
+
+func TestLoopbackSend(t *testing.T) {
+	wa, _ := pair(t)
+	wa.Handle("a", "echo", func(_ transport.NodeID, p any) (any, error) { return p, nil })
+	resp, err := wa.Send(context.Background(), "a", "a", "echo", "self")
+	if err != nil || resp != "self" {
+		t.Fatalf("loopback = %v, %v", resp, err)
+	}
+}
+
+func TestTCPBackend(t *testing.T) {
+	// Fixed ports would flake; use port 0 via a two-phase setup: start both
+	// listeners first, then rewrite the peer maps with the real ports.
+	wa0, err := New("a", map[transport.NodeID]string{"a": "tcp:127.0.0.1:0", "b": "tcp:127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb0, err := New("b", map[transport.NodeID]string{"a": "tcp:127.0.0.1:0", "b": "tcp:127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wa0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb0.Start(); err != nil {
+		t.Fatal(err)
+	}
+	peers := map[transport.NodeID]string{
+		"a": "tcp:" + wa0.Addr().String(),
+		"b": "tcp:" + wb0.Addr().String(),
+	}
+	wa0.Close()
+	wb0.Close()
+
+	wa, _ := New("a", peers)
+	wb, _ := New("b", peers)
+	if err := wa.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer wa.Close()
+	defer wb.Close()
+	wb.Handle("b", "echo", func(_ transport.NodeID, p any) (any, error) { return p, nil })
+	if err := wa.WaitPeers(contextWithTimeout(t, 5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wa.Send(context.Background(), "a", "b", "echo", "tcp")
+	if err != nil || resp != "tcp" {
+		t.Fatalf("tcp send = %v, %v", resp, err)
+	}
+}
+
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
