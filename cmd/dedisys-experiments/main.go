@@ -44,6 +44,7 @@ func run(args []string) error {
 		quorumK        = fs.Int("quorum-threshold", 0, "acks (incl. the coordinator) a quorum commit waits for; 0 = strict majority (requires -protocol=quorum)")
 		groups         = fs.Int("groups", 0, "exp-shard: replica-group count for the sharded cases (0 = its defaults, G=2 and G=4)")
 		rf             = fs.Int("replication-factor", 0, "exp-shard: nodes replicating each group (0 = its default of 3)")
+		gossipFanout   = fs.Int("gossip-fanout", 0, "exp-gossip: peers contacted per anti-entropy round (0 = the gossip default of 2)")
 
 		csvDir  = fs.String("csv", "", "also write each result as CSV into this directory")
 		metrics = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
@@ -97,6 +98,7 @@ func run(args []string) error {
 	}
 	cfg.Groups = *groups
 	cfg.ReplicationFactor = *rf
+	cfg.GossipFanout = *gossipFanout
 	var observer *obs.Observer
 	if *metrics || *trace {
 		observer = obs.New()

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"dedisys/internal/detect"
+	"dedisys/internal/gossip"
 	"dedisys/internal/group"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
@@ -66,11 +67,16 @@ func run(args []string) error {
 		groups   = fs.Int("groups", 0, "shard the object space across this many replica groups (0 = full replication)")
 		rf       = fs.Int("replication-factor", 0, "nodes replicating each group (with -groups)")
 		hb       = fs.Duration("detect", 0, "run a heartbeat failure detector with this period and drive membership from it (0 = static full views)")
+		gInt     = fs.Duration("gossip-interval", 0, "run the anti-entropy gossip loop with this period (0 = off)")
+		gFan     = fs.Int("gossip-fanout", 0, "peers contacted per gossip round (default 2; requires -gossip-interval)")
 		wait     = fs.Duration("wait", 30*time.Second, "how long to wait for all peers before reporting ready (0 = don't wait)")
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-command deadline for distributed operations")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *gFan != 0 && *gInt == 0 {
+		return fmt.Errorf("-gossip-fanout requires -gossip-interval")
 	}
 	peers, err := parsePeers(*peerSpec)
 	if err != nil {
@@ -103,6 +109,11 @@ func run(args []string) error {
 	}
 	gms := group.NewMembership(wire, gmsOpts...)
 
+	var gossipCfg *gossip.Config
+	if *gInt > 0 {
+		gossipCfg = &gossip.Config{Interval: *gInt, Fanout: *gFan}
+	}
+
 	n, err := node.New(node.Options{
 		ID:                self,
 		Net:               wire,
@@ -111,6 +122,7 @@ func run(args []string) error {
 		Groups:            *groups,
 		ReplicationFactor: *rf,
 		Detect:            detectCfg,
+		Gossip:            gossipCfg,
 	})
 	if err != nil {
 		return err

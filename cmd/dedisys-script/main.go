@@ -67,11 +67,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	quorumThreshold := fs.Int("quorum-threshold", 0, "acks (incl. the coordinator) a quorum commit waits for; 0 = strict majority (requires -protocol=quorum)")
 	groups := fs.Int("groups", 0, "shard the object space across this many replica groups (0 = full replication)")
 	rf := fs.Int("replication-factor", 0, "nodes replicating each group; 0 = all nodes (requires -groups)")
+	gossipInterval := fs.Duration("gossip-interval", 0, "run the anti-entropy gossip loop on 'cluster' nodes with this period (0 = off)")
+	gossipFanout := fs.Int("gossip-fanout", 0, "peers contacted per gossip round (default 2; requires -gossip-interval)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rf != 0 && *groups == 0 {
 		return fmt.Errorf("-replication-factor requires -groups")
+	}
+	if *gossipFanout != 0 && *gossipInterval == 0 {
+		return fmt.Errorf("-gossip-fanout requires -gossip-interval")
 	}
 	var proto replication.Protocol
 	if *protocol != "" || *quorumThreshold != 0 {
@@ -110,6 +115,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	eng.Protocol = proto
 	eng.Groups = *groups
 	eng.ReplicationFactor = *rf
+	eng.GossipInterval = *gossipInterval
+	eng.GossipFanout = *gossipFanout
 	if *metrics || *trace {
 		eng.Obs = obs.New()
 		eng.Obs.Tracer().SetEnabled(*trace)

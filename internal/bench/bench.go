@@ -53,6 +53,9 @@ type Config struct {
 	// ReplicationFactor is the number of nodes replicating each group in
 	// exp-shard (-replication-factor; 0 = its default of 3).
 	ReplicationFactor int
+	// GossipFanout is the peers-per-round for the anti-entropy experiment,
+	// exp-gossip (-gossip-fanout; 0 = the gossip default of 2).
+	GossipFanout int
 	// Obs, when set, is shared by every cluster the experiments build so one
 	// registry/trace dump covers the whole run (--metrics/--trace).
 	Obs *obs.Observer
@@ -231,6 +234,7 @@ func Registry() []Experiment {
 		{ID: "exp-quorum", Title: "Quorum commit tail latency: threshold vs full round under per-link jitter", Run: runQuorumTail},
 		{ID: "exp-shard", Title: "Sharded placement: per-node replica footprint and commit fan-out vs full replication", Run: runShard},
 		{ID: "exp-wire", Title: "Real-wire backend: commit latency over unix sockets vs the simulated hop", Run: runWire},
+		{ID: "exp-gossip", Title: "Anti-entropy gossip vs heal reconciliation: rounds and bytes to converge a heal storm", Run: runGossip},
 	}
 }
 

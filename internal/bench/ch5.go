@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dedisys/internal/constraint"
+	"dedisys/internal/gossip"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
 	"dedisys/internal/persistence"
@@ -88,6 +89,8 @@ type clusterOpts struct {
 	// per experiment (exp-shard), not inherited from the Config.
 	groups int
 	rf     int
+	// gossip enables the anti-entropy loop on every node (exp-gossip).
+	gossip *gossip.Config
 }
 
 func newBenchCluster(cfg Config, o clusterOpts, threatType constraint.Type) (*node.Cluster, error) {
@@ -119,6 +122,7 @@ func newBenchCluster(cfg Config, o clusterOpts, threatType constraint.Type) (*no
 		opt.StoreCost = persistence.CostModel{PerWrite: cfg.StoreCost}
 		opt.SequentialPropagation = cfg.SequentialPropagation
 		opt.Obs = cfg.Obs
+		opt.Gossip = o.gossip
 		if o.lockTimeout > 0 {
 			opt.LockTimeout = o.lockTimeout
 		}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestGossipConvergenceGate is the CI gate on the anti-entropy subsystem:
+// the 8-node (G=4, R=3) heal storm must converge via gossip alone within a
+// bounded number of rounds, and steady-state rounds must ship digests only
+// (zero records moved once in sync). When BENCH_GOSSIP_JSON names a file it
+// writes the measurements there for the CI artifact.
+func TestGossipConvergenceGate(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := runGossip(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+
+	rounds, ok := res.Cell("gossip (anti-entropy)", "rounds")
+	if !ok || rounds <= 0 {
+		t.Fatalf("gossip rounds = %v (ok=%v): a zero-round heal storm means the partition writes never diverged", rounds, ok)
+	}
+	if rounds > 16 {
+		t.Fatalf("gossip took %.0f rounds to converge the heal storm, budget 16", rounds)
+	}
+	steadyRecords, ok := res.Cell("gossip (anti-entropy)", "steady_records_per_round")
+	if !ok || steadyRecords != 0 {
+		t.Fatalf("steady-state gossip moved %.2f records/round (ok=%v), want 0 (digests only)", steadyRecords, ok)
+	}
+	steadyBytes, ok := res.Cell("gossip (anti-entropy)", "steady_bytes_per_round")
+	if !ok || steadyBytes <= 0 {
+		t.Fatalf("steady-state gossip shipped %.0f bytes/round (ok=%v), want > 0 digest traffic", steadyBytes, ok)
+	}
+	recSteadyBytes, ok := res.Cell("heal-reconcile", "steady_bytes_per_round")
+	if !ok || recSteadyBytes <= steadyBytes {
+		t.Fatalf("reconcile steady pass %.0f bytes <= gossip digest round %.0f bytes: the O(digest) claim failed", recSteadyBytes, steadyBytes)
+	}
+	recShipped, ok := res.Cell("heal-reconcile", "records_shipped")
+	if !ok || recShipped <= 0 {
+		t.Fatalf("reconcile baseline shipped %v records (ok=%v)", recShipped, ok)
+	}
+
+	if path := os.Getenv("BENCH_GOSSIP_JSON"); path != "" {
+		gRecords, _ := res.Cell("gossip (anti-entropy)", "records_shipped")
+		gBytes, _ := res.Cell("gossip (anti-entropy)", "bytes_shipped")
+		recBytes, _ := res.Cell("heal-reconcile", "bytes_shipped")
+		report := map[string]any{
+			"n":                               gossipBenchSize,
+			"groups":                          gossipBenchGroups,
+			"replication_factor":              gossipBenchRF,
+			"objects":                         gossipBenchObjects(cfg),
+			"gossip_rounds_to_converge":       rounds,
+			"gossip_records_shipped":          gRecords,
+			"gossip_bytes_shipped":            gBytes,
+			"gossip_steady_records_per_round": steadyRecords,
+			"gossip_steady_bytes_per_round":   steadyBytes,
+			"reconcile_records_shipped":       recShipped,
+			"reconcile_bytes_shipped":         recBytes,
+			"reconcile_steady_bytes_per_pass": recSteadyBytes,
+			"notes":                           res.Notes,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
+}

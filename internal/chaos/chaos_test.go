@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// A schedule must be a pure function of its config: replaying a printed
+// seed regenerates the identical fault sequence.
+func TestScheduleDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cfg := GenConfig{Seed: seed, Naming: true}
+		a, b := Generate(cfg), Generate(cfg)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d generated two different schedules:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+	if Generate(GenConfig{Seed: 1}).String() == Generate(GenConfig{Seed: 2}).String() {
+		t.Fatal("different seeds generated identical schedules")
+	}
+}
+
+// Schedules must actually exercise every fault kind across a modest seed
+// range — a generator that stopped emitting crashes or drops would quietly
+// weaken the soak.
+func TestScheduleCoversFaultKinds(t *testing.T) {
+	seen := map[Kind]bool{}
+	for seed := int64(1); seed <= 40; seed++ {
+		for _, st := range Generate(GenConfig{Seed: seed, Naming: true}).Steps {
+			seen[st.Kind] = true
+		}
+	}
+	for _, k := range []Kind{KindPartition, KindSplit, KindCrash, KindDrop,
+		KindLatency, KindSkew, KindWrite, KindBind, KindUnbind, KindQuiesce} {
+		if !seen[k] {
+			t.Errorf("no schedule in seeds 1..40 contained a %s step", k)
+		}
+	}
+}
+
+// soakSeeds returns how many seeds to run: a fast default locally, raised
+// via CHAOS_SOAK in CI (the workflow runs 200).
+func soakSeeds(t *testing.T) int64 {
+	if v := os.Getenv("CHAOS_SOAK"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_SOAK value %q", v)
+		}
+		return n
+	}
+	return 12
+}
+
+// TestChaosSoak executes generated schedules and fails on any invariant
+// violation, printing the seed and full schedule so the failure replays
+// exactly. Seeds alternate between reconcile-driven and gossip-driven
+// repair so both mechanisms soak.
+func TestChaosSoak(t *testing.T) {
+	seeds := soakSeeds(t)
+	for seed := int64(1); seed <= seeds; seed++ {
+		sched := Generate(GenConfig{Seed: seed, Naming: true})
+		opts := Options{Mode: ModeReconcile}
+		if seed%2 == 0 {
+			opts.Mode = ModeGossip
+		}
+		res, err := Execute(sched, opts)
+		if err != nil {
+			t.Fatalf("seed %d (%s): execute: %v\n%s", seed, opts.Mode, err, sched)
+		}
+		if len(res.Violations) > 0 {
+			t.Errorf("seed %d (%s) violated %d invariants:", seed, opts.Mode, len(res.Violations))
+			for _, v := range res.Violations {
+				t.Errorf("  %s", v)
+			}
+			t.Errorf("replay with:\n%s", sched)
+		}
+	}
+}
+
+// Gossip-mode execution must report the anti-entropy effort it spent: a
+// schedule with partitions and writes cannot converge for free.
+func TestExecuteGossipReportsRounds(t *testing.T) {
+	sched := Generate(GenConfig{Seed: 4, Rounds: 3})
+	res, err := Execute(sched, Options{Mode: ModeGossip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v\n%s", res.Violations, sched)
+	}
+	if res.GossipRounds == 0 {
+		t.Fatal("gossip mode reported zero anti-entropy rounds")
+	}
+}

@@ -1,0 +1,54 @@
+package gossip
+
+import (
+	"encoding/gob"
+
+	"dedisys/internal/object"
+	"dedisys/internal/replication"
+)
+
+// digestMsg opens an exchange: the sender's salted summary and bloom filter
+// over its digest entries for the receiver.
+type digestMsg struct {
+	Salt    uint64
+	Summary Summary
+	Bloom   Filter
+}
+
+// digestReply answers a digestMsg: either InSync, or the receiver's own
+// summary/filter plus the delta — its entries whose salted fingerprints fall
+// outside the sender's filter.
+type digestReply struct {
+	InSync  bool
+	Summary Summary
+	Bloom   Filter
+	Delta   map[object.ID]replication.DigestEntry
+}
+
+// pullMsg requests full records for divergent objects.
+type pullMsg struct {
+	IDs []object.ID
+}
+
+// pullReply carries the requested records.
+type pullReply struct {
+	Records []replication.Record
+}
+
+// pushMsg ships records the receiver provably lacks.
+type pushMsg struct {
+	Records []replication.Record
+}
+
+// Wire payload registration: every value the gossip layer puts into an
+// interface-typed transport payload slot must have its concrete type
+// registered with gob before it can cross the real wire. Each package
+// registers exactly the types it owns (replication.Record and object.ID are
+// registered by their packages).
+func init() {
+	gob.Register(digestMsg{})
+	gob.Register(digestReply{})
+	gob.Register(pullMsg{})
+	gob.Register(pullReply{})
+	gob.Register(pushMsg{})
+}

@@ -1,17 +1,19 @@
 package node_test
 
-// Failure-injection tests: random sequences of partitions, crashes, writes
-// and reconciliations must always converge — every replica ends with the
-// same state and comparable version vectors, and no accepted threat
-// survives once its constraint holds again.
+// Failure-injection tests: seeded fault schedules (generated and executed
+// by internal/chaos) must always converge — every replica ends with the
+// same state and comparable version vectors, no committed write is lost,
+// and no accepted threat survives once its constraint holds again. The
+// schedule generator, executor and invariant checkers live in
+// internal/chaos so the soak test and these integration tests share one
+// definition of "converged".
 
 import (
 	"context"
 	"fmt"
-	"math/rand"
-	"reflect"
 	"testing"
 
+	"dedisys/internal/chaos"
 	"dedisys/internal/constraint"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
@@ -20,143 +22,22 @@ import (
 	"dedisys/internal/transport"
 )
 
-func chaosSchema() *object.Schema {
-	s := object.NewSchema("Reg")
-	s.Define("SetValue", func(e *object.Entity, args []any) (any, error) {
-		e.Set("value", args[0])
-		return nil, nil
-	})
-	s.Define("Value", func(e *object.Entity, args []any) (any, error) {
-		return e.GetInt("value"), nil
-	})
-	return s
-}
-
-// alwaysTradeable accepts any threat and is satisfied by any non-negative
-// value, so reconciliation always clears it.
-func alwaysTradeable() constraint.Configured {
-	return constraint.Configured{
-		Meta: constraint.Meta{
-			Name: "NonNegative", Type: constraint.HardInvariant,
-			Priority: constraint.Tradeable, MinDegree: constraint.Uncheckable,
-			NeedsContext: true, ContextClass: "Reg",
-			Affected: []constraint.AffectedMethod{
-				{Class: "Reg", Method: "SetValue", Prep: constraint.CalledObjectIsContext{}},
-			},
-		},
-		Impl: constraint.Func(func(ctx constraint.Context) (bool, error) {
-			return ctx.ContextObject().GetInt("value") >= 0, nil
-		}),
-	}
-}
-
 func TestChaosConvergence(t *testing.T) {
-	const (
-		nodes   = 3
-		objects = 5
-		rounds  = 12
-	)
 	for seed := int64(1); seed <= 5; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
-			c, err := node.NewCluster(nodes, nil, func(o *node.Options) { o.RepoCache = true })
+			sched := chaos.Generate(chaos.GenConfig{Seed: seed, Rounds: 12, Naming: true})
+			res, err := chaos.Execute(sched, chaos.Options{Mode: chaos.ModeReconcile})
 			if err != nil {
-				t.Fatal(err)
+				t.Fatalf("execute: %v\n%s", err, sched)
 			}
-			for _, n := range c.Nodes {
-				n.RegisterSchema(chaosSchema())
-				if err := n.DeployConstraints([]constraint.Configured{alwaysTradeable()}); err != nil {
-					t.Fatal(err)
-				}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %s", v)
 			}
-			for i := 0; i < objects; i++ {
-				id := object.ID(fmt.Sprintf("o%d", i))
-				home := c.Nodes[rng.Intn(nodes)]
-				if err := home.Create("Reg", id, object.State{"value": int64(0)}, c.AllReplicas(home.ID)); err != nil {
-					t.Fatal(err)
-				}
-			}
-
-			for round := 0; round < rounds; round++ {
-				// Inject a random failure.
-				switch rng.Intn(3) {
-				case 0: // two-way partition
-					cut := 1 + rng.Intn(nodes-1)
-					ids := c.IDs()
-					c.Partition(ids[:cut], ids[cut:])
-				case 1: // full split
-					var groups [][]transport.NodeID
-					for _, id := range c.IDs() {
-						groups = append(groups, []transport.NodeID{id})
-					}
-					c.Partition(groups...)
-				case 2: // crash one node
-					c.Net.Crash(c.IDs()[rng.Intn(nodes)])
-				}
-
-				// Random writes from random nodes; protocol rejections and
-				// unreachable coordinators are expected and tolerated.
-				for op := 0; op < 10; op++ {
-					n := c.Nodes[rng.Intn(nodes)]
-					id := object.ID(fmt.Sprintf("o%d", rng.Intn(objects)))
-					_, _ = n.Invoke(id, "SetValue", int64(rng.Intn(1000)))
-				}
-
-				// Repair everything and reconcile pairwise until quiet.
-				for _, id := range c.IDs() {
-					c.Net.Recover(id)
-				}
-				c.Heal()
-				driver := c.Node(0)
-				peers := c.IDs()[1:]
-				if _, err := reconcile.Run(context.Background(), driver, peers, reconcile.Handlers{}); err != nil {
-					t.Fatalf("round %d: reconcile: %v", round, err)
-				}
-				// A second pass from another node mops up anything the first
-				// driver could not see (e.g. threats stored only elsewhere).
-				if _, err := reconcile.Run(context.Background(), c.Node(1), []transport.NodeID{c.IDs()[0], c.IDs()[2]}, reconcile.Handlers{}); err != nil {
-					t.Fatalf("round %d: reconcile 2: %v", round, err)
-				}
-
-				assertConverged(t, c, objects, round)
+			if len(res.Violations) > 0 {
+				t.Errorf("replay with:\n%s", sched)
 			}
 		})
-	}
-}
-
-func assertConverged(t *testing.T, c *node.Cluster, objects, round int) {
-	t.Helper()
-	for i := 0; i < objects; i++ {
-		id := object.ID(fmt.Sprintf("o%d", i))
-		var refState object.State
-		var refVV any
-		for nodeIdx, n := range c.Nodes {
-			e, err := n.Registry.Get(id)
-			if err != nil {
-				t.Fatalf("round %d: node %s lost %s: %v", round, n.ID, id, err)
-			}
-			vv, err := n.Repl.VersionVector(id)
-			if err != nil {
-				t.Fatalf("round %d: node %s vv: %v", round, n.ID, err)
-			}
-			if nodeIdx == 0 {
-				refState, refVV = e.Snapshot(), vv
-				continue
-			}
-			if !reflect.DeepEqual(e.Snapshot(), refState) {
-				t.Fatalf("round %d: %s diverged on %s: %v vs %v", round, id, n.ID, e.Snapshot(), refState)
-			}
-			if !reflect.DeepEqual(vv, refVV) {
-				t.Fatalf("round %d: %s vv diverged on %s: %v vs %v", round, id, n.ID, vv, refVV)
-			}
-		}
-	}
-	// The always-satisfiable constraint leaves no threats behind.
-	for _, n := range c.Nodes {
-		if n.Threats.Len() != 0 {
-			t.Fatalf("round %d: node %s kept %d threats", round, n.ID, n.Threats.Len())
-		}
 	}
 }
 
@@ -166,8 +47,8 @@ func TestCrashDuringDegradedModeThenRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range c.Nodes {
-		n.RegisterSchema(chaosSchema())
-		if err := n.DeployConstraints([]constraint.Configured{alwaysTradeable()}); err != nil {
+		n.RegisterSchema(chaos.Schema())
+		if err := n.DeployConstraints([]constraint.Configured{chaos.TradeableConstraint()}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -210,10 +91,10 @@ func TestRepeatedThreatPropagationDoesNotDuplicate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range c.Nodes {
-		n.RegisterSchema(chaosSchema())
+		n.RegisterSchema(chaos.Schema())
 		// A constraint that stays violated so reconciliation defers it and
 		// the threat survives multiple passes.
-		cc := alwaysTradeable()
+		cc := chaos.TradeableConstraint()
 		cc.Meta.SkipOnCreate = true
 		cc.Impl = constraint.Func(func(ctx constraint.Context) (bool, error) {
 			return ctx.ContextObject().GetInt("value") < 0, nil

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"dedisys/internal/chaos"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
 	"dedisys/internal/reconcile"
@@ -27,7 +28,7 @@ func TestLostPropagationRepairedByReconciliation(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range c.Nodes {
-		n.RegisterSchema(chaosSchema())
+		n.RegisterSchema(chaos.Schema())
 	}
 	n1 := c.Node(0)
 	if err := n1.Create("Reg", "o1", object.State{"value": int64(0)}, c.AllReplicas("n1")); err != nil {
@@ -85,7 +86,7 @@ func TestLossyWritesNeverDivergeSilently(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range c.Nodes {
-		n.RegisterSchema(chaosSchema())
+		n.RegisterSchema(chaos.Schema())
 	}
 	n1 := c.Node(0)
 	if err := n1.Create("Reg", "o1", object.State{"value": int64(0)}, c.AllReplicas("n1")); err != nil {

@@ -15,6 +15,7 @@ import (
 	"dedisys/internal/constraint"
 	"dedisys/internal/core"
 	"dedisys/internal/detect"
+	"dedisys/internal/gossip"
 	"dedisys/internal/group"
 	"dedisys/internal/invocation"
 	"dedisys/internal/naming"
@@ -85,6 +86,12 @@ type Options struct {
 	// and feeds its views into the membership service. The Membership must
 	// have been built with group.WithDetector (NewCluster arranges this).
 	Detect *detect.Config
+	// Gossip, when non-nil, runs continuous anti-entropy gossip on the node:
+	// periodic digest exchanges with random co-group peers so replicas
+	// converge without waiting for heal-triggered reconciliation. Requires
+	// replication; Manual configurations register the manager but leave
+	// rounds to the caller (RunRound).
+	Gossip *gossip.Config
 	// Obs is the shared observability scope; the node derives a per-node
 	// sub-scope from it ("<id>." metric prefix, node-stamped events). Nil
 	// observes into a private registry.
@@ -104,6 +111,7 @@ type Node struct {
 	Naming   *naming.Service
 	Ring     *placement.Ring  // sharded placement, nil under full replication
 	Detector *detect.Detector // nil unless Options.Detect was set
+	Gossip   *gossip.Manager  // nil unless Options.Gossip was set
 	Obs      *obs.Observer    // per-node scope over the shared registry/tracer
 
 	net   transport.Transport
@@ -312,14 +320,35 @@ func New(opts Options) (*Node, error) {
 		d.Start()
 		opts.GMS.AttachSource(d)
 	}
+
+	if opts.Gossip != nil {
+		if n.Repl == nil {
+			return nil, fmt.Errorf("node %s: Gossip set but replication is disabled", opts.ID)
+		}
+		gcfg := *opts.Gossip
+		if gcfg.Placement == nil {
+			gcfg.Placement = ring
+		}
+		gm, err := gossip.New(opts.Net, opts.ID, n.Repl, gcfg, gossip.WithObserver(scoped))
+		if err != nil {
+			return nil, fmt.Errorf("node %s: %w", opts.ID, err)
+		}
+		n.Gossip = gm
+		if !gcfg.Manual {
+			gm.Start()
+		}
+	}
 	return n, nil
 }
 
-// Stop shuts down the node's background services (currently the failure
-// detector); safe on nodes without one.
+// Stop shuts down the node's background services (failure detector and
+// gossip loop); safe on nodes without them.
 func (n *Node) Stop() {
 	if n.Detector != nil {
 		n.Detector.Stop()
+	}
+	if n.Gossip != nil {
+		n.Gossip.Stop()
 	}
 	if n.Repl != nil {
 		// Join the background straggler sends of threshold commits so a

@@ -9,10 +9,13 @@
 //
 //	cluster N [p4|primary-backup|primary-partition|adaptive-voting|quorum[=K]]
 //	        [detector[=fixed|phi]] [groups=G] [rf=R]
+//	        [gossip=DUR|manual] [gossip-fanout=K]
 //	    detector runs heartbeat failure detection instead of the topology
 //	    oracle: views lag real failures and scripts must 'sleep' or 'await'
 //	    before asserting on modes; groups=G shards the object space across G
-//	    replica groups of rf=R nodes each (default: full replication)
+//	    replica groups of rf=R nodes each (default: full replication);
+//	    gossip=DUR runs the anti-entropy loop every DUR, gossip=manual
+//	    enables gossip but leaves rounds to the 'gossip' command
 //	constraint NAME TYPE PRIORITY MINDEGREE EXPR...
 //	    TYPE: PRE POST HARD SOFT ASYNC; PRIORITY: CRITICAL RELAXABLE;
 //	    MINDEGREE: a satisfaction degree; EXPR: declarative expression over
@@ -27,6 +30,9 @@
 //	heal                            repair all partitions
 //	crash NODE / recover NODE       node failure and recovery
 //	reconcile NODE [PEER ...]       run reconciliation (default: all others)
+//	gossip NODE [PEER ...]          run one anti-entropy round from NODE
+//	    (default: a random fanout of co-group peers; with PEERs, exchange
+//	    with exactly those nodes) and print the per-peer outcome
 //	sleep DURATION                  wait (e.g. 50ms; lets detectors observe)
 //	await NODE healthy|degraded [TIMEOUT]
 //	    poll until the node reaches the mode (default timeout 2s)
@@ -49,6 +55,7 @@ import (
 	"dedisys/internal/constraint"
 	"dedisys/internal/core"
 	"dedisys/internal/detect"
+	"dedisys/internal/gossip"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
 	"dedisys/internal/obs"
@@ -114,6 +121,12 @@ type Engine struct {
 	// -groups/-replication-factor flags). Script tokens still win.
 	Groups            int
 	ReplicationFactor int
+	// GossipInterval and GossipFanout, when set before Run, enable the
+	// anti-entropy loop on 'cluster' nodes the way a script's gossip=DUR
+	// token does (the CLI's -gossip-interval/-gossip-fanout flags). Script
+	// tokens still win.
+	GossipInterval time.Duration
+	GossipFanout   int
 
 	cluster     *node.Cluster
 	constraints []constraint.Configured
@@ -199,6 +212,8 @@ func (e *Engine) exec(cmd Command) error {
 		return nil
 	case "reconcile":
 		return e.cmdReconcile(cmd.Args)
+	case "gossip":
+		return e.cmdGossip(cmd.Args)
 	case "sleep":
 		return e.cmdSleep(cmd.Args)
 	case "await":
@@ -264,6 +279,10 @@ func (e *Engine) cmdCluster(args []string) error {
 	}
 	detectCfg := e.Detect
 	groups, rf := e.Groups, e.ReplicationFactor
+	var gossipCfg *gossip.Config
+	if e.GossipInterval != 0 {
+		gossipCfg = &gossip.Config{Interval: e.GossipInterval, Fanout: e.GossipFanout}
+	}
 	for _, a := range args[1:] {
 		switch {
 		case a == "p4":
@@ -305,6 +324,30 @@ func (e *Engine) cmdCluster(args []string) error {
 				return fmt.Errorf("invalid replication factor %q", a)
 			}
 			rf = r
+		case a == "gossip=manual":
+			if gossipCfg == nil {
+				gossipCfg = &gossip.Config{}
+			}
+			gossipCfg.Manual = true
+		case strings.HasPrefix(a, "gossip="):
+			d, err := time.ParseDuration(strings.TrimPrefix(a, "gossip="))
+			if err != nil || d <= 0 {
+				return fmt.Errorf("invalid gossip interval %q", a)
+			}
+			if gossipCfg == nil {
+				gossipCfg = &gossip.Config{}
+			}
+			gossipCfg.Interval = d
+			gossipCfg.Manual = false
+		case strings.HasPrefix(a, "gossip-fanout="):
+			k, err := strconv.Atoi(strings.TrimPrefix(a, "gossip-fanout="))
+			if err != nil || k < 1 {
+				return fmt.Errorf("invalid gossip fanout %q", a)
+			}
+			if gossipCfg == nil {
+				gossipCfg = &gossip.Config{Manual: true}
+			}
+			gossipCfg.Fanout = k
 		default:
 			return fmt.Errorf("unknown cluster option %q", a)
 		}
@@ -318,6 +361,7 @@ func (e *Engine) cmdCluster(args []string) error {
 		o.SequentialPropagation = e.SequentialPropagation
 		o.Groups = groups
 		o.ReplicationFactor = rf
+		o.Gossip = gossipCfg
 	})
 	if err != nil {
 		return err
@@ -346,6 +390,14 @@ func (e *Engine) cmdCluster(args []string) error {
 	desc := proto.Name()
 	if c.Ring != nil {
 		desc = fmt.Sprintf("%s, %d groups x %d replicas", desc, c.Ring.Groups(), c.Ring.ReplicationFactor())
+	}
+	if gossipCfg != nil {
+		gm := c.Node(0).Gossip
+		if gossipCfg.Manual {
+			desc = fmt.Sprintf("%s, manual gossip fanout %d", desc, gm.Fanout())
+		} else {
+			desc = fmt.Sprintf("%s, gossip every %s fanout %d", desc, gm.Interval(), gm.Fanout())
+		}
 	}
 	if detectCfg != nil {
 		d := c.Node(0).Detector
@@ -558,6 +610,49 @@ func (e *Engine) cmdReconcile(args []string) error {
 	fmt.Fprintf(e.Out, "reconciled: %d pushed, %d adopted, %d conflicts, %d threats removed, %d deferred\n",
 		report.Replica.Pushed, report.Replica.Adopted, report.Replica.Conflicts,
 		report.Constraint.Removed, report.Constraint.Deferred)
+	return nil
+}
+
+// cmdGossip runs one synchronous anti-entropy round from a node — against a
+// random fanout of its co-group peers, or against exactly the named peers —
+// and prints each exchange.
+func (e *Engine) cmdGossip(args []string) error {
+	if len(args) < 1 {
+		return errors.New("gossip expects NODE [PEER ...]")
+	}
+	n, err := e.nodeByID(args[0])
+	if err != nil {
+		return err
+	}
+	if n.Gossip == nil {
+		return fmt.Errorf("node %s has no gossip manager (use 'cluster N gossip=manual')", n.ID)
+	}
+	var exchanges []gossip.Exchange
+	if len(args) > 1 {
+		for _, p := range args[1:] {
+			ex, err := n.Gossip.GossipWith(context.Background(), transport.NodeID(p))
+			if err != nil {
+				return fmt.Errorf("gossip with %s: %w", p, err)
+			}
+			exchanges = append(exchanges, ex)
+		}
+	} else {
+		exchanges, err = n.Gossip.RunRound(context.Background())
+		if err != nil {
+			return err
+		}
+	}
+	if len(exchanges) == 0 {
+		fmt.Fprintf(e.Out, "gossip %s: no peers\n", n.ID)
+		return nil
+	}
+	for _, ex := range exchanges {
+		if ex.InSync {
+			fmt.Fprintf(e.Out, "gossip %s <-> %s: in sync\n", n.ID, ex.Peer)
+		} else {
+			fmt.Fprintf(e.Out, "gossip %s <-> %s: pulled %d, pushed %d\n", n.ID, ex.Peer, ex.Pulled, ex.Pushed)
+		}
+	}
 	return nil
 }
 
