@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	dedisys-experiments [-quick] [-ops N] [-runs N] [-netcost D] [-storecost D] [id ...]
+//	dedisys-experiments [-quick] [-ops N] [-runs N] [-netcost D] [-storecost D]
+//	                    [-load-ops N] [-load-rate R] [-cpuprofile F] [-memprofile F] [id ...]
 //
 // Without arguments all experiments run at the calibrated default scale; one
 // or more experiment IDs (e.g. fig5.2 exp-psc) restrict the run.
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dedisys/internal/bench"
@@ -45,10 +48,18 @@ func run(args []string) error {
 		groups         = fs.Int("groups", 0, "exp-shard: replica-group count for the sharded cases (0 = its defaults, G=2 and G=4)")
 		rf             = fs.Int("replication-factor", 0, "exp-shard: nodes replicating each group (0 = its default of 3)")
 		gossipFanout   = fs.Int("gossip-fanout", 0, "exp-gossip: peers contacted per anti-entropy round (0 = the gossip default of 2)")
+		loadOps        = fs.Int("load-ops", 0, "exp-load: total operations (0 = 1000x -ops, a million at default scale)")
+		loadRate       = fs.Float64("load-rate", 0, "exp-load: mean open-loop arrival rate in ops/s (0 = 250000)")
+		loadReadRatio  = fs.Float64("load-read-ratio", 0, "exp-load: read fraction of the mix (0 = 0.9)")
+		loadPoisson    = fs.Bool("load-poisson", true, "exp-load: Poisson inter-arrivals (false: fixed rate)")
+		loadSeed       = fs.Int64("load-seed", 0, "exp-load: schedule seed for replayable runs (0 = 42)")
+		loadWorkers    = fs.Int("load-workers", 0, "exp-load: executor pool size (0 = 4x GOMAXPROCS)")
 
-		csvDir  = fs.String("csv", "", "also write each result as CSV into this directory")
-		metrics = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
-		trace   = fs.Bool("trace", false, "record structured events and dump the trace after each experiment")
+		csvDir     = fs.String("csv", "", "also write each result as CSV into this directory")
+		metrics    = fs.Bool("metrics", false, "dump the shared metrics registry after each experiment")
+		trace      = fs.Bool("trace", false, "record structured events and dump the trace after each experiment")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +110,12 @@ func run(args []string) error {
 	cfg.Groups = *groups
 	cfg.ReplicationFactor = *rf
 	cfg.GossipFanout = *gossipFanout
+	cfg.LoadOps = *loadOps
+	cfg.LoadRate = *loadRate
+	cfg.LoadReadRatio = *loadReadRatio
+	cfg.LoadFixedRate = !*loadPoisson
+	cfg.LoadSeed = *loadSeed
+	cfg.LoadWorkers = *loadWorkers
 	var observer *obs.Observer
 	if *metrics || *trace {
 		observer = obs.New()
@@ -116,6 +133,24 @@ func run(args []string) error {
 			}
 			selected = append(selected, e)
 		}
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := writeMemProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "dedisys-experiments:", err)
+			}
+		}()
 	}
 	start := time.Now()
 	for _, e := range selected {
@@ -150,6 +185,21 @@ func dumpObservability(w *os.File, id string, o *obs.Observer, metrics, trace bo
 		fmt.Fprintf(w, "-- trace (%s, %d events) --\n", id, o.Tracer().Len())
 		o.Tracer().WriteText(w)
 	}
+}
+
+// writeMemProfile snapshots the allocation profile after a final GC, so the
+// numbers reflect live retention plus cumulative allocation sites.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("mem profile: %w", err)
+	}
+	return nil
 }
 
 // writeCSV stores one result as <dir>/<id>.csv.

@@ -43,6 +43,13 @@ func TestWireClusterSmoke(t *testing.T) {
 	// from another process's replica.
 	a.send(t, "create acct-1 balance=100")
 	a.expect(t, "ok created acct-1")
+	// The create itself commits at a majority, so its straggler send can
+	// still be in flight when the next write's batch arrives; a replica that
+	// has not seen the create skips the update and waits for reconciliation
+	// (handleBatch). Wait until every replica has applied the create before
+	// writing, so the write below is a pure version-vector catch-up.
+	b.expectEventually(t, "get acct-1 balance", "ok 100")
+	c.expectEventually(t, "get acct-1 balance", "ok 100")
 	a.send(t, "set acct-1 balance 150")
 	a.expect(t, "ok set acct-1.balance")
 	// A threshold commit returns once a strict majority acked; the last

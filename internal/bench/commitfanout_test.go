@@ -28,6 +28,7 @@ func BenchmarkCommitFanOut(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer c.Stop()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := fanOutCommit(n, ids, i); err != nil {

@@ -1,0 +1,205 @@
+package loadgen
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dedisys/internal/obs"
+)
+
+func testSpec() Spec {
+	return Spec{Ops: 500, Rate: 100000, Poisson: true, ReadRatio: 0.9, Objects: 64, Seed: 7}
+}
+
+// TestScheduleDeterministic: the schedule is a pure function of the spec —
+// same seed + rate + mix yields the identical operation sequence, and each
+// knob independently perturbs it.
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := Schedule(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical specs produced different schedules")
+	}
+
+	perturb := map[string]Spec{}
+	s := testSpec()
+	s.Seed = 8
+	perturb["seed"] = s
+	s = testSpec()
+	s.Rate = 50000
+	perturb["rate"] = s
+	s = testSpec()
+	s.Mix = []AppShare{{App: "flight", Weight: 1}}
+	perturb["mix"] = s
+	for name, spec := range perturb {
+		c, err := Schedule(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("changing %s did not change the schedule", name)
+		}
+	}
+}
+
+// TestScheduleShape pins the schedule's statistical contract: arrivals are
+// strictly ordered, fixed-rate spacing is exact, the read ratio and app mix
+// land near their configured shares, and object indexes stay in range.
+func TestScheduleShape(t *testing.T) {
+	spec := testSpec()
+	spec.Ops = 4000
+	ops, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != spec.Ops {
+		t.Fatalf("got %d ops, want %d", len(ops), spec.Ops)
+	}
+	var reads int
+	byApp := map[string]int{}
+	for i, op := range ops {
+		if i > 0 && op.At < ops[i-1].At {
+			t.Fatalf("arrivals out of order at %d: %v < %v", i, op.At, ops[i-1].At)
+		}
+		if op.Obj < 0 || op.Obj >= spec.Objects {
+			t.Fatalf("object index %d out of range [0,%d)", op.Obj, spec.Objects)
+		}
+		if op.Read {
+			reads++
+		}
+		byApp[op.App]++
+	}
+	if ratio := float64(reads) / float64(len(ops)); ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("read ratio = %.3f, want ~0.9", ratio)
+	}
+	for _, m := range DefaultMix() {
+		share := float64(byApp[m.App]) / float64(len(ops))
+		if share < m.Weight-0.05 || share > m.Weight+0.05 {
+			t.Errorf("app %s share = %.3f, want ~%.2f", m.App, share, m.Weight)
+		}
+	}
+
+	// Fixed-rate spacing is exactly 1/Rate.
+	spec.Poisson = false
+	spec.Rate = 1000 // 1ms apart
+	spec.Ops = 10
+	fixed, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range fixed {
+		want := time.Duration(i+1) * time.Millisecond
+		if op.At != want {
+			t.Fatalf("fixed-rate op %d at %v, want %v", i, op.At, want)
+		}
+	}
+}
+
+// TestScheduleValidate rejects unusable specs.
+func TestScheduleValidate(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"zero ops":    {Ops: 0, Rate: 100},
+		"zero rate":   {Ops: 10, Rate: 0},
+		"zero mix":    {Ops: 10, Rate: 100, Mix: []AppShare{{App: "x", Weight: 0}}},
+		"neg. weight": {Ops: 10, Rate: 100, Mix: []AppShare{{App: "x", Weight: -1}}},
+	} {
+		if _, err := Schedule(spec); err == nil {
+			t.Errorf("%s: Schedule accepted invalid spec", name)
+		}
+	}
+}
+
+// TestRunnerCompletesAndMeasures runs a fast no-op executor and checks the
+// accounting: everything issued completes, errors are counted, and the
+// latency histograms cover every operation.
+func TestRunnerCompletesAndMeasures(t *testing.T) {
+	spec := testSpec()
+	spec.Ops = 200
+	sched, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed atomic.Int64
+	r := NewRunner(obs.NewRegistry(), 4, func(op Op) error {
+		if !op.Read && failed.Add(1) == 1 {
+			return errTest
+		}
+		return nil
+	})
+	s := r.Run(sched)
+	if s.Issued != int64(spec.Ops) || s.Completed != int64(spec.Ops) {
+		t.Fatalf("issued/completed = %d/%d, want %d/%d", s.Issued, s.Completed, spec.Ops, spec.Ops)
+	}
+	if s.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", s.Errors)
+	}
+	if s.All.Count != int64(spec.Ops) {
+		t.Fatalf("latency histogram count = %d, want %d", s.All.Count, spec.Ops)
+	}
+	if s.Read.Count+s.Write.Count != s.All.Count {
+		t.Fatalf("read+write counts (%d+%d) != all (%d)", s.Read.Count, s.Write.Count, s.All.Count)
+	}
+	if s.Throughput <= 0 {
+		t.Fatalf("throughput = %f, want > 0", s.Throughput)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "injected" }
+
+// TestOpenLoopNoCoordinatedOmission injects a stall: every executor blocks
+// until released. A closed loop would stop issuing after the workers fill;
+// the open-loop dispatcher must keep releasing arrivals on schedule while
+// nothing completes, and the stall must then appear in the measured tail
+// (latency counts from scheduled arrival, not from execution start).
+func TestOpenLoopNoCoordinatedOmission(t *testing.T) {
+	const ops = 100
+	spec := Spec{Ops: ops, Rate: 1e6, ReadRatio: 0.5, Objects: 8, Seed: 1}
+	sched, err := Schedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	r := NewRunner(obs.NewRegistry(), 2, func(Op) error {
+		<-release
+		return nil
+	})
+	done := make(chan Summary, 1)
+	go func() { done <- r.Run(sched) }()
+
+	// All arrivals must be issued while zero have completed.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Issued() < ops {
+		if time.Now().After(deadline) {
+			t.Fatalf("dispatcher stalled: issued %d of %d during executor stall", r.Issued(), ops)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := r.Completed(); got != 0 {
+		t.Fatalf("completed = %d during stall, want 0", got)
+	}
+
+	stall := 20 * time.Millisecond
+	time.Sleep(stall)
+	close(release)
+	s := <-done
+	if s.Completed != ops {
+		t.Fatalf("completed = %d, want %d", s.Completed, ops)
+	}
+	// Every sample waited through the stall in the queue, so even the median
+	// must carry it — the omission a closed loop would have hidden.
+	if p50 := s.All.Percentile(0.50); p50 < stall {
+		t.Fatalf("p50 = %v, want >= stall %v (queue delay missing from latency)", p50, stall)
+	}
+}

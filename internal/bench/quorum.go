@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
@@ -55,23 +54,6 @@ type quorumTailMeasurement struct {
 	EarlyReturns int64 // threshold rounds that left stragglers behind
 }
 
-// percentile returns the p-th percentile (0 < p <= 1) of the samples.
-func percentile(samples []time.Duration, p float64) time.Duration {
-	if len(samples) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(float64(len(sorted))*p+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
-
 // measureQuorumTail times iters single-object commits on a size-node cluster
 // under the jitter profile and returns the latency percentiles. proto nil
 // selects the full-round P4 baseline (same batch wire format, full
@@ -97,19 +79,20 @@ func measureQuorumTail(cfg Config, size, iters int, proto replication.Protocol) 
 	c.Net.SetLatency(quorumJitter(jitterSeed))
 	defer c.Net.SetLatency(nil)
 
-	samples := make([]time.Duration, 0, iters)
+	var hist obs.Histogram
 	for i := 0; i < iters; i++ {
 		d, err := fanOutCommit(n, []object.ID{oid}, i)
 		if err != nil {
 			return m, err
 		}
-		samples = append(samples, d)
+		hist.Observe(d)
 	}
 	// Join the background straggler sends before reading the counters (and
 	// before Stop tears the cluster down under them).
 	n.Repl.WaitPropagation()
-	m.P50 = percentile(samples, 0.50)
-	m.P99 = percentile(samples, 0.99)
+	snap := hist.Snapshot()
+	m.P50 = snap.Percentile(0.50)
+	m.P99 = snap.Percentile(0.99)
 	m.QuorumRounds = sumCounters(cfg.Obs, ".replication.quorum.rounds")
 	m.EarlyReturns = sumCounters(cfg.Obs, ".group.multicast.threshold.early")
 	return m, nil

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"os"
 	"testing"
-	"time"
 
 	"dedisys/internal/constraint"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/replication"
 )
 
@@ -39,6 +39,7 @@ func BenchmarkCommitQuorum(b *testing.B) {
 			}
 			c.Net.SetLatency(quorumJitter(jitterSeed))
 			defer c.Net.SetLatency(nil)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := fanOutCommit(n, []object.ID{oid}, i); err != nil {
@@ -130,40 +131,30 @@ func TestQuorumTailLatencyGate(t *testing.T) {
 	}
 }
 
-// TestPercentile pins the percentile helper's rounding at the edges the
-// gate depends on (p50/p99 over small and exact-hit sample counts).
-func TestPercentile(t *testing.T) {
-	ms := func(vs ...int) []time.Duration {
-		out := make([]time.Duration, len(vs))
-		for i, v := range vs {
-			out[i] = time.Duration(v) * time.Millisecond
-		}
-		return out
-	}
-	cases := []struct {
-		name    string
-		samples []time.Duration
-		p       float64
-		want    time.Duration
-	}{
-		{"empty", nil, 0.99, 0},
-		{"single", ms(7), 0.50, 7 * time.Millisecond},
-		{"p50 of 4", ms(4, 1, 3, 2), 0.50, 2 * time.Millisecond},
-		{"p99 of 100", ms(seq(100)...), 0.99, 99 * time.Millisecond},
-		{"p100 clamps", ms(1, 2), 1.0, 2 * time.Millisecond},
-	}
-	for _, tc := range cases {
-		if got := percentile(tc.samples, tc.p); got != tc.want {
-			t.Errorf("%s: percentile(p=%.2f) = %v, want %v", tc.name, tc.p, got, tc.want)
+// TestGatePercentilesSeparateJitterModes pins what the tail-latency gates
+// actually depend on now that percentiles come from obs histograms: under the
+// default jitter profile, bucketed percentiles still separate a base-latency
+// distribution from one carrying the 5ms tail by far more than the gate's 2x
+// floor — bucket resolution (a factor-of-two band) cannot erase a 33x gap.
+func TestGatePercentilesSeparateJitterModes(t *testing.T) {
+	var base, tailed obs.Histogram
+	for i := 0; i < 100; i++ {
+		base.Observe(jitterBase)
+		if i%10 == 0 { // 10% of commits pay one 5ms stall
+			tailed.Observe(jitterTail)
+		} else {
+			tailed.Observe(jitterBase)
 		}
 	}
-}
-
-// seq returns 1..n for percentile table construction.
-func seq(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i + 1
+	bp99 := base.Snapshot().Percentile(0.99)
+	tp99 := tailed.Snapshot().Percentile(0.99)
+	if bp99 <= 0 || tp99 <= 0 {
+		t.Fatalf("p99s must be positive: base %v, tailed %v", bp99, tp99)
 	}
-	return out
+	if ratio := float64(tp99) / float64(bp99); ratio < 2 {
+		t.Errorf("tailed/base p99 ratio = %.2fx, want >= 2x (base %v, tailed %v)", ratio, bp99, tp99)
+	}
+	if p50 := tailed.Snapshot().Percentile(0.50); p50 > 2*jitterBase {
+		t.Errorf("tailed p50 = %v, want near base %v — the tail must not leak into the median", p50, jitterBase)
+	}
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Gates that drive millions of operations scale down under -race, where
+// every atomic and channel operation pays instrumentation cost.
+const raceEnabled = false

@@ -12,6 +12,7 @@ import (
 	"dedisys/internal/group"
 	"dedisys/internal/node"
 	"dedisys/internal/object"
+	"dedisys/internal/obs"
 	"dedisys/internal/replication"
 	"dedisys/internal/transport"
 	"dedisys/internal/wiretransport"
@@ -128,18 +129,16 @@ type wireMeasurement struct {
 
 // summarize reduces samples to the reported statistics.
 func summarize(samples []time.Duration) wireMeasurement {
-	var m wireMeasurement
-	if len(samples) == 0 {
-		return m
-	}
-	var total time.Duration
+	var hist obs.Histogram
 	for _, s := range samples {
-		total += s
+		hist.Observe(s)
 	}
-	m.P50 = percentile(samples, 0.50)
-	m.P95 = percentile(samples, 0.95)
-	m.Mean = total / time.Duration(len(samples))
-	return m
+	snap := hist.Snapshot()
+	return wireMeasurement{
+		P50:  snap.Percentile(0.50),
+		P95:  snap.Percentile(0.95),
+		Mean: snap.Mean,
+	}
 }
 
 // commitSamples creates one fully replicated object homed on n and times

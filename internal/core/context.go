@@ -24,7 +24,6 @@ type valContext struct {
 	pre        map[string]any
 
 	accessed    []threat.AffectedObject
-	seen        map[object.ID]struct{}
 	unreachable bool
 }
 
@@ -42,8 +41,6 @@ func (m *Manager) newContext(callCtx context.Context, contextObj, called *object
 		method:     method,
 		args:       args,
 		result:     result,
-		pre:        make(map[string]any),
-		seen:       make(map[object.ID]struct{}),
 	}
 	// The context and called objects are affected objects themselves.
 	if called != nil {
@@ -55,10 +52,23 @@ func (m *Manager) newContext(callCtx context.Context, contextObj, called *object
 	return ctx
 }
 
+// recorded reports whether an access to id is already on the affected list.
+// A linear scan replaces the former seen-map: validation contexts touch a
+// handful of objects, and a map allocation per invocation is the dominant
+// cost at that size.
+func (ctx *valContext) recorded(id object.ID) bool {
+	for i := range ctx.accessed {
+		if ctx.accessed[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
 // recordLocal records an access to an entity already in hand, asking the
 // replication manager for its staleness.
 func (ctx *valContext) recordLocal(e *object.Entity) {
-	if _, ok := ctx.seen[e.ID()]; ok {
+	if ctx.recorded(e.ID()) {
 		return
 	}
 	st := constraint.Staleness{Version: e.Version(), EstimatedLatest: e.Version()}
@@ -67,7 +77,6 @@ func (ctx *valContext) recordLocal(e *object.Entity) {
 			st = s
 		}
 	}
-	ctx.seen[e.ID()] = struct{}{}
 	ctx.accessed = append(ctx.accessed, threat.AffectedObject{ID: e.ID(), Class: e.Class(), Staleness: st})
 }
 
@@ -86,8 +95,15 @@ func (ctx *valContext) Args() []any { return ctx.args }
 // Result implements constraint.Context.
 func (ctx *valContext) Result() any { return ctx.result }
 
-// PreState implements constraint.Context.
-func (ctx *valContext) PreState() map[string]any { return ctx.pre }
+// PreState implements constraint.Context. The map is allocated on first use:
+// most constraints never store pre-state, and the context is built per
+// matched constraint on the invocation hot path.
+func (ctx *valContext) PreState() map[string]any {
+	if ctx.pre == nil {
+		ctx.pre = make(map[string]any)
+	}
+	return ctx.pre
+}
 
 // PartitionWeight implements constraint.Context (§5.5.2).
 func (ctx *valContext) PartitionWeight() float64 { return ctx.ccm.partitionWeight() }
@@ -99,14 +115,12 @@ func (ctx *valContext) Lookup(id object.ID) (*object.Entity, error) {
 	e, st, err := ctx.ccm.lookup(ctx.callCtx, id)
 	if err != nil {
 		ctx.unreachable = true
-		if _, ok := ctx.seen[id]; !ok {
-			ctx.seen[id] = struct{}{}
+		if !ctx.recorded(id) {
 			ctx.accessed = append(ctx.accessed, threat.AffectedObject{ID: id})
 		}
 		return nil, fmt.Errorf("%w: object %s: %w", constraint.ErrUncheckable, id, err)
 	}
-	if _, ok := ctx.seen[id]; !ok {
-		ctx.seen[id] = struct{}{}
+	if !ctx.recorded(id) {
 		ctx.accessed = append(ctx.accessed, threat.AffectedObject{ID: id, Class: e.Class(), Staleness: st})
 	}
 	return e, nil

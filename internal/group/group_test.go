@@ -625,8 +625,11 @@ func TestMulticastThresholdShortfall(t *testing.T) {
 	if !errors.Is(call.Err, ErrThresholdShort) {
 		t.Fatalf("Err = %v, want ErrThresholdShort", call.Err)
 	}
-	if call.Acked != 1 {
-		t.Fatalf("Acked = %d, want 1", call.Acked)
+	// The shortfall is declared as soon as two unreachable sends fail, which
+	// races with n2's in-flight ack: Acked may be 0 or 1 at return time. The
+	// stable quantity is the eventual ack count from Wait below.
+	if call.Acked > 1 {
+		t.Fatalf("Acked = %d, want <= 1", call.Acked)
 	}
 	results := call.Wait()
 	var okCount int

@@ -103,35 +103,39 @@ func (f Func) Name() string { return f.ID }
 // Invoke implements Interceptor.
 func (f Func) Invoke(inv *Invocation, next Next) (any, error) { return f.Fn(inv, next) }
 
-// Chain composes interceptors around a terminal dispatcher.
+// Chain composes interceptors around a terminal dispatcher. The composition
+// is computed once at construction — the chain is immutable, so Dispatch
+// reuses one precomposed closure chain instead of rebuilding a closure per
+// interceptor on every invocation.
 type Chain struct {
 	interceptors []Interceptor
-	terminal     Next
+	compiled     Next
 }
 
 // NewChain builds a chain; interceptors run in the given order around the
 // terminal dispatcher.
 func NewChain(terminal Next, interceptors ...Interceptor) *Chain {
-	return &Chain{interceptors: interceptors, terminal: terminal}
+	c := &Chain{interceptors: interceptors}
+	if terminal == nil {
+		return c
+	}
+	next := terminal
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		ic, inner := interceptors[i], next
+		next = func(inv *Invocation) (any, error) {
+			return ic.Invoke(inv, inner)
+		}
+	}
+	c.compiled = next
+	return c
 }
 
 // Dispatch sends the invocation through the chain.
 func (c *Chain) Dispatch(inv *Invocation) (any, error) {
-	if c.terminal == nil {
+	if c.compiled == nil {
 		return nil, ErrNoTerminal
 	}
-	return c.step(0)(inv)
-}
-
-func (c *Chain) step(i int) Next {
-	if i == len(c.interceptors) {
-		return c.terminal
-	}
-	ic := c.interceptors[i]
-	next := c.step(i + 1)
-	return func(inv *Invocation) (any, error) {
-		return ic.Invoke(inv, next)
-	}
+	return c.compiled(inv)
 }
 
 // Names returns the interceptor names in chain order.

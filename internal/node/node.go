@@ -137,6 +137,18 @@ type cmpChanges struct {
 	deleted map[object.ID]struct{}
 }
 
+// cmpChangesPool recycles CMP change sets across transactions (struct plus
+// two maps per write commit otherwise).
+var cmpChangesPool = sync.Pool{New: func() any {
+	return &cmpChanges{updated: make(map[object.ID]struct{}), deleted: make(map[object.ID]struct{})}
+}}
+
+func (ch *cmpChanges) release() {
+	clear(ch.updated)
+	clear(ch.deleted)
+	cmpChangesPool.Put(ch)
+}
+
 // cmpTable is the persistence table holding entity state.
 const cmpTable = "entities"
 
@@ -149,7 +161,7 @@ func (c *cmpResource) mark(t *tx.Tx, id object.ID, deleted bool) {
 	defer c.mu.Unlock()
 	ch, ok := c.dirty[t.ID()]
 	if !ok {
-		ch = &cmpChanges{updated: make(map[object.ID]struct{}), deleted: make(map[object.ID]struct{})}
+		ch = cmpChangesPool.Get().(*cmpChanges)
 		c.dirty[t.ID()] = ch
 	}
 	if deleted {
@@ -186,14 +198,21 @@ func (c *cmpResource) Commit(t *tx.Tx) error {
 	for id := range ch.deleted {
 		c.store.Delete(cmpTable, string(id))
 	}
+	ch.release()
 	return firstErr
 }
 
 // Rollback implements tx.Resource: discard the change set.
 func (c *cmpResource) Rollback(t *tx.Tx) error {
 	c.mu.Lock()
-	delete(c.dirty, t.ID())
+	ch, ok := c.dirty[t.ID()]
+	if ok {
+		delete(c.dirty, t.ID())
+	}
 	c.mu.Unlock()
+	if ok {
+		ch.release()
+	}
 	return nil
 }
 

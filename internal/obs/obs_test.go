@@ -65,6 +65,59 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramPercentile(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Percentile(0.99); got != 0 {
+		t.Fatalf("empty percentile = %s, want 0", got)
+	}
+
+	// Single sample: every rank lands in its bucket; the interpolated value
+	// is the bucket's upper bound regardless of p.
+	var one Histogram
+	one.Observe(3 * time.Microsecond) // bucket [2µs, 4µs)
+	s := one.Snapshot()
+	for _, p := range []float64{0.01, 0.5, 1, 1.5} {
+		if got := s.Percentile(p); got != 4*time.Microsecond {
+			t.Fatalf("single-sample p%.0f = %s, want 4µs", p*100, got)
+		}
+	}
+
+	// Uniform 1..100ms: percentiles must land inside (and interpolate
+	// within) the log-2 bucket holding the rank, and must be monotone in p.
+	var u Histogram
+	for i := 1; i <= 100; i++ {
+		u.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s = u.Snapshot()
+	p50, p95, p99 := s.Percentile(0.50), s.Percentile(0.95), s.Percentile(0.99)
+	if p50 <= 32768*time.Microsecond || p50 > 65536*time.Microsecond {
+		t.Fatalf("p50 = %s, want within (32.768ms, 65.536ms]", p50)
+	}
+	if p99 <= 65536*time.Microsecond || p99 > 131072*time.Microsecond {
+		t.Fatalf("p99 = %s, want within (65.536ms, 131.072ms]", p99)
+	}
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("percentiles not monotone: p50=%s p95=%s p99=%s", p50, p95, p99)
+	}
+
+	// The sub-µs bucket interpolates from zero: two of four samples below
+	// the median puts p50 exactly halfway up the 1µs bucket.
+	var sub Histogram
+	for i := 0; i < 4; i++ {
+		sub.Observe(500 * time.Nanosecond)
+	}
+	if got := sub.Snapshot().Percentile(0.5); got != 500*time.Nanosecond {
+		t.Fatalf("sub-µs p50 = %s, want 500ns", got)
+	}
+
+	// The unbounded top bucket reports its lower bound, not +inf.
+	var big Histogram
+	big.Observe(3000 * time.Second)
+	if got := big.Snapshot().Percentile(1); got != BucketBound(histBuckets-2) {
+		t.Fatalf("overflow p100 = %s, want %s", got, BucketBound(histBuckets-2))
+	}
+}
+
 // TestHistogramSelfTiming charges a known simulated cost through the shared
 // simtime helper and verifies the histogram observes it in the right order
 // of magnitude — the calibration contract between the cost model and the

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 	"sync"
@@ -127,6 +128,53 @@ type BucketCount struct {
 	// UpperBound is the bucket's exclusive upper bound.
 	UpperBound time.Duration `json:"le"`
 	Count      int64         `json:"count"`
+}
+
+// Percentile returns the latency at or below which fraction p (0 < p <= 1)
+// of the recorded samples fall, linearly interpolated within the log-2
+// bucket holding the target rank. The result is an estimate with the
+// bucket's resolution (a factor-of-two band), which is what a latency gate
+// needs: ratios between percentiles of different distributions are
+// preserved. Returns 0 without samples; p is clamped to (0, 1]. For the
+// unbounded top bucket the bucket's lower bound is returned (conservative).
+func (s HistogramSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(math.Ceil(p * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		if cum+b.Count < rank {
+			cum += b.Count
+			continue
+		}
+		lower := bucketLowerBound(b.UpperBound)
+		if b.UpperBound >= BucketBound(histBuckets-1) {
+			return lower
+		}
+		frac := float64(rank-cum) / float64(b.Count)
+		return lower + time.Duration(frac*float64(b.UpperBound-lower))
+	}
+	// Unreachable with a consistent snapshot (buckets sum to Count).
+	return s.Mean
+}
+
+// bucketLowerBound is the inclusive lower bound of the bucket with the given
+// exclusive upper bound.
+func bucketLowerBound(upper time.Duration) time.Duration {
+	if upper <= time.Microsecond {
+		return 0
+	}
+	if upper >= BucketBound(histBuckets-1) {
+		return BucketBound(histBuckets - 2)
+	}
+	return upper / 2
 }
 
 // Snapshot copies the histogram, keeping only non-empty buckets.

@@ -184,6 +184,45 @@ type txChanges struct {
 	order   []object.ID // deterministic propagation order
 }
 
+// txChangesPool recycles change sets across transactions: a write commit
+// otherwise allocates the struct plus four maps every time. Entries are
+// cleared before reuse; the map buckets and order slice survive.
+var txChangesPool = sync.Pool{New: func() any {
+	return &txChanges{
+		created: make(map[object.ID]Info),
+		remote:  make(map[object.ID]remoteCreate),
+		deleted: make(map[object.ID]struct{}),
+		updated: make(map[object.ID]struct{}),
+	}
+}}
+
+func (ch *txChanges) reset() {
+	clear(ch.created)
+	clear(ch.remote)
+	clear(ch.deleted)
+	clear(ch.updated)
+	ch.order = ch.order[:0]
+}
+
+// release returns the change set to the pool after a commit or rollback. The
+// caller must not touch ch afterwards.
+func (ch *txChanges) release() {
+	ch.reset()
+	txChangesPool.Put(ch)
+}
+
+// stagedOp is one staged batch operation awaiting the commit multicast.
+type stagedOp struct {
+	op       batchOp
+	dests    []transport.NodeID
+	replicas int // full replica count, the quorum denominator
+}
+
+// stagedPool recycles the staging buffer of commitBatched; the buffer never
+// escapes the commit (background straggler sends hold the per-destination
+// batches, not the staging slice).
+var stagedPool = sync.Pool{New: func() any { return new([]stagedOp) }}
+
 // remoteCreate is a creation coordinated by a node outside the object's
 // replica group: the entity never enters the local registry or replica
 // table, it only rides the commit batch to the group's members.
@@ -628,12 +667,7 @@ func (m *Manager) MarkDirty(t *tx.Tx, id object.ID) {
 func (m *Manager) changes(t *tx.Tx) *txChanges {
 	ch, ok := m.dirty[t.ID()]
 	if !ok {
-		ch = &txChanges{
-			created: make(map[object.ID]Info),
-			remote:  make(map[object.ID]remoteCreate),
-			deleted: make(map[object.ID]struct{}),
-			updated: make(map[object.ID]struct{}),
-		}
+		ch = txChangesPool.Get().(*txChanges)
 		m.dirty[t.ID()] = ch
 	}
 	return ch
@@ -664,10 +698,16 @@ func (m *Manager) Commit(t *tx.Tx) error {
 	degraded := m.Degraded()
 	view := m.view()
 	m.propagations.Add(int64(len(ch.order)))
+	var err error
 	if m.sequential {
-		return m.commitSequential(ctx, ch, view, degraded)
+		err = m.commitSequential(ctx, ch, view, degraded)
+	} else {
+		err = m.commitBatched(ctx, ch, view, degraded)
 	}
-	return m.commitBatched(ctx, ch, view, degraded)
+	// Propagation has fully staged (background straggler sends hold only the
+	// per-destination batches, not the change set), so the set can be reused.
+	ch.release()
+	return err
 }
 
 // commitSequential is the seed propagation path: one multicast round per
@@ -702,12 +742,13 @@ func (m *Manager) commitSequential(ctx context.Context, ch *txChanges, view grou
 // metadata persistence, degraded-mode history, estimator observation — is
 // identical to the per-object path; only the wire format changes.
 func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.View, degraded bool) error {
-	type stagedOp struct {
-		op       batchOp
-		dests    []transport.NodeID
-		replicas int // full replica count, the quorum denominator
-	}
-	var staged []stagedOp
+	sp := stagedPool.Get().(*[]stagedOp)
+	staged := (*sp)[:0]
+	defer func() {
+		clear(staged) // drop op payload references before pooling
+		*sp = staged[:0]
+		stagedPool.Put(sp)
+	}()
 	var errs []error
 	for _, id := range ch.order {
 		var (
@@ -746,19 +787,28 @@ func (m *Manager) commitBatched(ctx context.Context, ch *txChanges, view group.V
 	// The per-destination replica sets are computed once: each destination
 	// receives one message holding only the ops whose objects it replicates
 	// (deletes address every view member under full replication, the
-	// ring-derived replica group under sharded placement).
-	perDest := make(map[transport.NodeID][]batchOp)
+	// ring-derived replica group under sharded placement). The map is
+	// allocated only when a remote destination exists — a commit whose
+	// replicas are all local (single-node, or the coordinator is the only
+	// reachable replica) skips the multicast machinery entirely.
+	var perDest map[transport.NodeID][]batchOp
 	var dests []transport.NodeID
 	for _, s := range staged {
 		for _, d := range s.dests {
 			if d == m.self {
 				continue
 			}
+			if perDest == nil {
+				perDest = make(map[transport.NodeID][]batchOp)
+			}
 			if _, seen := perDest[d]; !seen {
 				dests = append(dests, d)
 			}
 			perDest[d] = append(perDest[d], s.op)
 		}
+	}
+	if perDest == nil {
+		return errors.Join(errs...)
 	}
 	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
 	m.batchRounds.Inc()
@@ -865,15 +915,33 @@ func (m *Manager) stageUpdate(id object.ID, view group.View, degraded bool) (bat
 		return batchOp{}, Info{}, nil, false, fmt.Errorf("%w: %s", ErrUnknownObject, id)
 	}
 	rs.vv.Bump(m.self)
-	msg := applyMsg{ID: id, State: e.Snapshot(), Version: e.Version(), VV: rs.vv.Clone()}
+	vv := rs.vv.Clone()
 	info := rs.info
 	m.mu.Unlock()
+	dests := info.reachableReplicas(view)
+	deg := m.effectiveDegraded(info, degraded)
+	// The state snapshot exists to ride the wire and the history log; when
+	// no remote replica is reachable and no history is recorded, copying the
+	// object per commit buys nothing — the local registry entity is already
+	// the latest state.
+	needState := deg && m.keepHistory
+	for _, d := range dests {
+		if d != m.self {
+			needState = true
+			break
+		}
+	}
+	var state object.State
+	if needState {
+		state = e.Snapshot()
+	}
+	msg := applyMsg{ID: id, State: state, Version: e.Version(), VV: vv}
 	if err := m.store.Put(tableReplicaMeta, string(id), msg.VV); err != nil {
 		return batchOp{}, Info{}, nil, false, err
 	}
-	m.recordHistory(id, msg.State, msg.Version, msg.VV, m.effectiveDegraded(info, degraded))
+	m.recordHistory(id, msg.State, msg.Version, msg.VV, deg)
 	m.observe(id)
-	return batchOp{Kind: msgApply, Apply: msg}, info, info.reachableReplicas(view), true, nil
+	return batchOp{Kind: msgApply, Apply: msg}, info, dests, true, nil
 }
 
 // deleteDests computes the destinations and replica count of a delete, whose
@@ -912,8 +980,14 @@ func (m *Manager) WaitPropagation() { m.propagation.Wait() }
 // Rollback implements tx.Resource: discard the change set.
 func (m *Manager) Rollback(t *tx.Tx) error {
 	m.mu.Lock()
-	delete(m.dirty, t.ID())
+	ch, ok := m.dirty[t.ID()]
+	if ok {
+		delete(m.dirty, t.ID())
+	}
 	m.mu.Unlock()
+	if ok {
+		ch.release()
+	}
 	return nil
 }
 

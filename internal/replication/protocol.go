@@ -90,6 +90,20 @@ func (i Info) HasReplica(n transport.NodeID) bool {
 // holds for every Info the protocols see even when a caller hands the
 // manager an unsorted Replicas slice.
 func (i Info) reachableReplicas(view group.View) []transport.NodeID {
+	// Fast path: with every replica in view (the healthy steady state) the
+	// replica slice itself is the answer. Callers treat the result as
+	// read-only; the cap clamp makes an append reallocate rather than write
+	// into the shared Info.
+	all := true
+	for _, r := range i.Replicas {
+		if !view.Contains(r) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return i.Replicas[:len(i.Replicas):len(i.Replicas)]
+	}
 	var out []transport.NodeID
 	for _, r := range i.Replicas {
 		if view.Contains(r) {

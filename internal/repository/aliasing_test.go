@@ -8,10 +8,11 @@ import (
 	"dedisys/internal/constraint"
 )
 
-// Regression test: LookupAffected used to return the internal cached slice
-// when every registration was enabled; a caller appending to or reordering
-// the result corrupted the shared cache for all later queries.
-func TestLookupAffectedReturnsDefensiveCopy(t *testing.T) {
+// LookupAffected returns a shared read-only view on the cache-hit path.
+// Appending must never corrupt the cache (the PR 1 aliasing bug, now
+// prevented by cap-clamped immutable views instead of a copy per call), and
+// the view must survive a caller-side append + reslice untouched.
+func TestLookupAffectedSharedViewSurvivesAppend(t *testing.T) {
 	for _, cached := range []bool{false, true} {
 		t.Run(fmt.Sprintf("cached=%v", cached), func(t *testing.T) {
 			var r *Repository
@@ -25,24 +26,48 @@ func TestLookupAffectedReturnsDefensiveCopy(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
-			// Warm the cache (first query fills it), then vandalise the result.
+			// Warm the cache, then append and mutate the *extended* slice:
+			// the first append must have copied out of the shared view.
 			got := r.LookupAffected("F", "SetX", constraint.HardInvariant)
 			if len(got) != 2 {
 				t.Fatalf("lookup = %v", names(got))
 			}
-			got[0], got[1] = got[1], got[0]
-			got = append(got, got[0])
-			got[0] = nil
+			grown := append(got, got[0])
+			grown[0], grown[1] = grown[1], grown[0]
+			grown[2] = nil
 
 			again := r.LookupAffected("F", "SetX", constraint.HardInvariant)
 			if len(again) != 2 || again[0] == nil || again[1] == nil {
-				t.Fatalf("cache corrupted by caller mutation: %v", again)
+				t.Fatalf("cache corrupted by caller append: %v", again)
 			}
 			if again[0].Meta.Name != "C1" || again[1].Meta.Name != "C2" {
 				t.Fatalf("cache order corrupted: %v", names(again))
 			}
 		})
 	}
+}
+
+// TestLookupAffectedSharesCacheHit pins the optimisation itself: two
+// cache-hit lookups return the same backing array (no per-call copy), and
+// the shared view has cap == len so an append cannot write into it.
+func TestLookupAffectedSharesCacheHit(t *testing.T) {
+	r := New(WithCache())
+	if err := r.Register(meta("C1", "F", "SetX", constraint.HardInvariant), trueConstraint()); err != nil {
+		t.Fatal(err)
+	}
+	first := r.LookupAffected("F", "SetX", constraint.HardInvariant) // miss: fills cache
+	second := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+	third := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+	if len(second) != 1 || len(third) != 1 {
+		t.Fatalf("lookups = %v / %v", names(second), names(third))
+	}
+	if &second[0] != &third[0] {
+		t.Error("cache-hit lookups do not share a view (copying per call again)")
+	}
+	if cap(second) != len(second) {
+		t.Errorf("shared view cap = %d, len = %d; append would scribble on the cache", cap(second), len(second))
+	}
+	_ = first
 }
 
 // Appending to a lookup result must never clobber a neighbouring entry of
@@ -69,8 +94,36 @@ func TestLookupAffectedAppendDoesNotAliasCache(t *testing.T) {
 	}
 }
 
+// TestSetEnabledInvalidatesSharedView: disabling a constraint must retire
+// the cached filtered view (epoch copy-on-write), not mutate it under
+// readers holding the old slice.
+func TestSetEnabledInvalidatesSharedView(t *testing.T) {
+	r := New(WithCache())
+	for _, n := range []string{"C1", "C2"} {
+		if err := r.Register(meta(n, "F", "SetX", constraint.HardInvariant), trueConstraint()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+	if len(before) != 2 {
+		t.Fatalf("before = %v", names(before))
+	}
+	if err := r.SetEnabled("C1", false); err != nil {
+		t.Fatal(err)
+	}
+	after := r.LookupAffected("F", "SetX", constraint.HardInvariant)
+	if len(after) != 1 || after[0].Meta.Name != "C2" {
+		t.Fatalf("after disable = %v, want [C2]", names(after))
+	}
+	// The old view a reader already holds is untouched.
+	if len(before) != 2 || before[0].Meta.Name != "C1" || before[1].Meta.Name != "C2" {
+		t.Fatalf("published view mutated in place: %v", names(before))
+	}
+}
+
 // -race coverage: concurrent Register/Unregister/SetEnabled/LookupAffected
-// over both repository variants.
+// over both repository variants. Results are read-only views, so readers
+// only iterate them.
 func TestConcurrentRepositoryAccess(t *testing.T) {
 	for _, cached := range []bool{false, true} {
 		t.Run(fmt.Sprintf("cached=%v", cached), func(t *testing.T) {
@@ -102,10 +155,10 @@ func TestConcurrentRepositoryAccess(t *testing.T) {
 						case 1:
 							_ = r.SetEnabled(fmt.Sprintf("stable%d", i%4), i%8 < 4)
 						case 2:
-							got := r.LookupAffected("F", "SetX", constraint.HardInvariant)
-							// Mutating results must always be safe.
-							if len(got) > 0 {
-								got[0] = nil
+							for _, reg := range r.LookupAffected("F", "SetX", constraint.HardInvariant) {
+								if reg == nil {
+									t.Error("nil registration in lookup result")
+								}
 							}
 						case 3:
 							_ = r.Unregister(churn)

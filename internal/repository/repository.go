@@ -72,7 +72,11 @@ type Repository struct {
 	mu     sync.RWMutex
 	byName map[string]*Registered
 	all    []*Registered // registration order for deterministic scans
-	cache  map[lookupKey][]*Registered
+	cache  map[lookupKey]*cacheEntry
+
+	// enabledEpoch increments on every SetEnabled; cached filtered views
+	// stamped with an older epoch are rebuilt on next use (copy-on-write).
+	enabledEpoch atomic.Int64
 
 	searches  *obs.Counter
 	cacheHits *obs.Counter
@@ -85,11 +89,27 @@ type lookupKey struct {
 	ctype  constraint.Type
 }
 
+// cacheEntry is one cached lookup result: the raw matches in registration
+// order plus a lazily rebuilt enabled-only view. The view is immutable once
+// published — readers on the cache-hit path share its slice without copying.
+type cacheEntry struct {
+	matches []*Registered
+	view    atomic.Pointer[filteredView]
+}
+
+// filteredView is an immutable enabled-subset snapshot, valid for one
+// enabled-epoch. Its slice has cap == len, so a caller appending to it
+// reallocates instead of writing past the shared backing array.
+type filteredView struct {
+	epoch int64
+	regs  []*Registered
+}
+
 // New creates a repository.
 func New(opts ...Option) *Repository {
 	r := &Repository{
 		byName: make(map[string]*Registered),
-		cache:  make(map[lookupKey][]*Registered),
+		cache:  make(map[lookupKey]*cacheEntry),
 	}
 	for _, o := range opts {
 		o(r)
@@ -165,8 +185,9 @@ func (r *Repository) SetEnabled(name string, enabled bool) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	reg.enabled.Store(enabled)
-	// Cached result slices filter on Enabled at use time, so no invalidation
-	// is required; the cache stores registrations, not filtered views.
+	// Cached raw matches stay valid; bumping the epoch retires every cached
+	// filtered view, which is rebuilt (copy-on-write) on its next use.
+	r.enabledEpoch.Add(1)
 	return nil
 }
 
@@ -202,6 +223,12 @@ func (r *Repository) Len() int {
 
 // LookupAffected returns the enabled constraints of the given type that are
 // affected by an invocation of class.method, in registration order.
+//
+// The returned slice is a shared read-only view: on the cache-hit path it
+// aliases an immutable cached snapshot, so callers must not modify elements
+// in place. Appending is always safe — the view's cap equals its len, so the
+// first append copies (the PR 1 aliasing guarantee, now by copy-on-write
+// instead of a defensive copy per call; the hit path is allocation-free).
 func (r *Repository) LookupAffected(class, method string, ctype constraint.Type) []*Registered {
 	r.searches.Inc()
 	key := lookupKey{class: class, method: method, ctype: ctype}
@@ -211,7 +238,13 @@ func (r *Repository) LookupAffected(class, method string, ctype constraint.Type)
 		r.mu.RUnlock()
 		if ok {
 			r.cacheHits.Inc()
-			return filterEnabled(hit)
+			epoch := r.enabledEpoch.Load()
+			if v := hit.view.Load(); v != nil && v.epoch == epoch {
+				return v.regs
+			}
+			regs := filterEnabled(hit.matches)
+			hit.view.Store(&filteredView{epoch: epoch, regs: regs})
+			return regs
 		}
 	}
 	r.mu.RLock()
@@ -231,7 +264,9 @@ func (r *Repository) LookupAffected(class, method string, ctype constraint.Type)
 	r.mu.RUnlock()
 	if r.cached {
 		r.mu.Lock()
-		r.cache[key] = matches
+		if _, ok := r.cache[key]; !ok {
+			r.cache[key] = &cacheEntry{matches: matches}
+		}
 		r.mu.Unlock()
 	}
 	return filterEnabled(matches)
@@ -276,14 +311,14 @@ func (r *Repository) ResetStats() {
 
 func (r *Repository) invalidateLocked() {
 	if len(r.cache) > 0 {
-		r.cache = make(map[lookupKey][]*Registered)
+		r.cache = make(map[lookupKey]*cacheEntry)
 	}
 }
 
 // filterEnabled returns the enabled subset of regs in a freshly allocated
-// slice. regs may be (an alias of) a cached lookup result, so the input is
-// never returned directly: callers own the returned slice and may append to
-// or reorder it without corrupting the cache.
+// slice with cap == len: the result may be published as a shared immutable
+// view, and the cap clamp guarantees that a caller's append reallocates
+// instead of scribbling past the shared backing array.
 func filterEnabled(regs []*Registered) []*Registered {
 	if len(regs) == 0 {
 		return nil
@@ -294,5 +329,5 @@ func filterEnabled(regs []*Registered) []*Registered {
 			out = append(out, reg)
 		}
 	}
-	return out
+	return out[:len(out):len(out)]
 }

@@ -119,10 +119,15 @@ func NewManager(opts ...Option) *Manager {
 }
 
 // RegisterResource enlists a resource in every future transaction.
+// Registration copies the snapshot (copy-on-write): transactions share the
+// published slice without copying it per Begin.
 func (m *Manager) RegisterResource(r Resource) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.resources = append(m.resources, r)
+	next := make([]Resource, len(m.resources)+1)
+	copy(next, m.resources)
+	next[len(next)-1] = r
+	m.resources = next
 }
 
 // Begin starts a transaction with a background context.
@@ -138,8 +143,10 @@ func (m *Manager) BeginCtx(ctx context.Context) *Tx {
 		ctx = context.Background()
 	}
 	m.mu.Lock()
-	global := make([]Resource, len(m.resources))
-	copy(global, m.resources)
+	// The registered-resource snapshot is immutable (RegisterResource
+	// replaces it wholesale) and sized exactly, so transactions alias it:
+	// Enlist's first append reallocates instead of mutating the shared slice.
+	global := m.resources
 	m.mu.Unlock()
 	m.begun.Inc()
 	return &Tx{
@@ -148,8 +155,6 @@ func (m *Manager) BeginCtx(ctx context.Context) *Tx {
 		ctx:       ctx,
 		status:    Active,
 		resources: global,
-		vals:      make(map[string]any),
-		held:      make(map[object.ID]struct{}),
 	}
 }
 
@@ -165,14 +170,40 @@ type Tx struct {
 	rbReason     error
 
 	resources []Resource
-	vals      map[string]any
+	vals      map[string]any // lazy: most transactions store no values
 
-	held map[object.ID]struct{}
-	undo []undoRecord
+	// Most transactions lock exactly one object (a single-target
+	// invocation), so the first held lock lives inline and the overflow map
+	// is allocated only for multi-object transactions.
+	held0    object.ID
+	hasHeld0 bool
+	held     map[object.ID]struct{} // locks beyond the first
+	undo     []undoRecord
 }
 
+// undoRecord is one rollback action. Typed fields instead of a captured
+// closure: recording an update on the write hot path stores a value in the
+// undo slice without allocating a closure per mutation.
 type undoRecord struct {
-	apply func()
+	entity  *object.Entity // restore target (undo of an update)
+	state   object.State   // pre-state for restore
+	version int64          // pre-version for restore
+	reg     *object.Registry
+	id      object.ID // remove target (undo of a create)
+	fn      func()    // arbitrary compensation; wins when set
+}
+
+func (u *undoRecord) apply() {
+	switch {
+	case u.fn != nil:
+		u.fn()
+	case u.entity != nil && u.reg != nil:
+		_ = u.reg.Add(u.entity) // undo of a delete
+	case u.entity != nil:
+		u.entity.Restore(u.state, u.version)
+	case u.reg != nil:
+		_ = u.reg.Remove(u.id) // undo of a create
+	}
 }
 
 // ID returns the transaction identifier (unique per manager).
@@ -192,7 +223,12 @@ func (t *Tx) Status() Status { return t.status }
 
 // Put stores a transaction-scoped value, e.g. the registered negotiation
 // handler of §3.2.1.
-func (t *Tx) Put(key string, v any) { t.vals[key] = v }
+func (t *Tx) Put(key string, v any) {
+	if t.vals == nil {
+		t.vals = make(map[string]any)
+	}
+	t.vals[key] = v
+}
 
 // Value retrieves a transaction-scoped value.
 func (t *Tx) Value(key string) any { return t.vals[key] }
@@ -218,7 +254,7 @@ func (t *Tx) Lock(id object.ID) error {
 	if t.status != Active {
 		return fmt.Errorf("%w: %s", ErrNotActive, t.status)
 	}
-	if _, ok := t.held[id]; ok {
+	if t.HoldsLock(id) {
 		return nil
 	}
 	m := t.mgr
@@ -239,12 +275,22 @@ func (t *Tx) Lock(id object.ID) error {
 		}
 		return err
 	}
-	t.held[id] = struct{}{}
+	if !t.hasHeld0 {
+		t.hasHeld0, t.held0 = true, id
+	} else {
+		if t.held == nil {
+			t.held = make(map[object.ID]struct{})
+		}
+		t.held[id] = struct{}{}
+	}
 	return nil
 }
 
 // HoldsLock reports whether this transaction owns the object's lock.
 func (t *Tx) HoldsLock(id object.ID) bool {
+	if t.hasHeld0 && t.held0 == id {
+		return true
+	}
 	_, ok := t.held[id]
 	return ok
 }
@@ -255,23 +301,22 @@ func (t *Tx) HoldsLock(id object.ID) bool {
 // semantics (the undo log replays in reverse, so duplicates are harmless but
 // wasteful).
 func (t *Tx) RecordUpdate(e *object.Entity) {
-	state, version := e.Snapshot(), e.Version()
-	t.undo = append(t.undo, undoRecord{apply: func() { e.Restore(state, version) }})
+	t.undo = append(t.undo, undoRecord{entity: e, state: e.Snapshot(), version: e.Version()})
 }
 
 // RecordCreate registers an undo that removes a created entity again.
 func (t *Tx) RecordCreate(reg *object.Registry, id object.ID) {
-	t.undo = append(t.undo, undoRecord{apply: func() { _ = reg.Remove(id) }})
+	t.undo = append(t.undo, undoRecord{reg: reg, id: id})
 }
 
 // RecordDelete registers an undo that re-adds a deleted entity.
 func (t *Tx) RecordDelete(reg *object.Registry, e *object.Entity) {
-	t.undo = append(t.undo, undoRecord{apply: func() { _ = reg.Add(e) }})
+	t.undo = append(t.undo, undoRecord{reg: reg, entity: e})
 }
 
 // RecordUndo registers an arbitrary compensation to run on rollback.
 func (t *Tx) RecordUndo(fn func()) {
-	t.undo = append(t.undo, undoRecord{apply: fn})
+	t.undo = append(t.undo, undoRecord{fn: fn})
 }
 
 // Commit runs the two-phase commit: prepare all resources, then commit them.
@@ -344,10 +389,14 @@ func (t *Tx) finish(s Status) {
 	case RolledBack:
 		t.mgr.rolledBack.Inc()
 	}
+	if t.hasHeld0 {
+		t.mgr.locks.release(t.held0, t.id)
+		t.hasHeld0 = false
+	}
 	for id := range t.held {
 		t.mgr.locks.release(id, t.id)
 	}
-	t.held = make(map[object.ID]struct{})
+	t.held = nil
 	t.undo = nil
 }
 
